@@ -1,0 +1,42 @@
+"""Benchmark E1 — Theorem 1: flow time with rejections (DESIGN.md experiment E1).
+
+Regenerates the E1 table (competitive-ratio bracket and rejection fraction per
+epsilon and workload) and times both the full experiment and the raw scheduler
+on a medium instance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.flow_time import RejectionFlowTimeScheduler
+from repro.experiments import run_experiment
+from repro.simulation.engine import FlowTimeEngine
+from repro.workloads.generators import InstanceGenerator
+
+E1_KWARGS = dict(epsilons=(0.1, 0.25, 0.5), workloads=("poisson-pareto", "overload-burst"))
+
+
+def test_e1_experiment(benchmark, report_sink):
+    """Time the full E1 sweep and record its table."""
+    result = benchmark.pedantic(
+        lambda: run_experiment("E1", **E1_KWARGS), rounds=1, iterations=1
+    )
+    report_sink(result.render())
+    for row in result.raw["rows"]:
+        if row["epsilon"] != "-":
+            assert row["rejected_fraction"] <= row["budget_2eps"] + 1e-9
+            assert row["ratio_vs_lb"] <= row["paper_bound"] + 1e-9
+
+
+@pytest.mark.parametrize("epsilon", [0.25, 0.5])
+def test_e1_scheduler_throughput(benchmark, epsilon):
+    """Time a single Theorem 1 run on a 2000-job workload (scheduler throughput)."""
+    instance = InstanceGenerator(num_machines=8, seed=1, size_distribution="pareto").generate(2000)
+    engine = FlowTimeEngine(instance)
+
+    def run():
+        return engine.run(RejectionFlowTimeScheduler(epsilon=epsilon))
+
+    result = benchmark(run)
+    assert len(result.records) == 2000

@@ -1,0 +1,33 @@
+"""Benchmark E2 — Lemma 1: immediate rejection vs the Theorem 1 algorithm.
+
+Regenerates the E2 table (flow-time ratio vs Delta for immediate-rejection
+policies and for the paper's algorithm on the Lemma 1 instance family).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+E2_KWARGS = dict(lengths=(4.0, 8.0, 16.0, 24.0), epsilon=0.25)
+
+
+def test_e2_experiment(benchmark, report_sink):
+    """Time the Lemma 1 sweep and check the separation it demonstrates."""
+    result = benchmark.pedantic(
+        lambda: run_experiment("E2", **E2_KWARGS), rounds=1, iterations=1
+    )
+    report_sink(result.render())
+
+    rows = result.raw["rows"]
+    ours = {r["L"]: r["ratio_vs_lb"] for r in rows if "rejection-flow-time" in r["algorithm"]}
+    immediate = {}
+    for row in rows:
+        if "immediate" in row["algorithm"]:
+            immediate[row["L"]] = max(immediate.get(row["L"], 0.0), row["ratio_vs_lb"])
+
+    lengths = sorted(ours)
+    # Immediate rejection degrades as Delta = L^2 grows ...
+    assert immediate[lengths[-1]] > 2.0 * immediate[lengths[0]]
+    # ... while the Theorem 1 algorithm stays within its guarantee everywhere.
+    for length in lengths:
+        assert ours[length] <= rows[0]["theorem1_bound"] + 1e-9

@@ -1,0 +1,40 @@
+"""Benchmark E3 — Theorem 2: weighted flow time plus energy with rejections.
+
+Regenerates the E3 table (objective, rejected-weight fraction and ratio per
+alpha/epsilon, with the rejection-free and preemptive-HDF references).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.flow_time_energy import RejectionEnergyFlowScheduler
+from repro.experiments import run_experiment
+from repro.simulation.speed_engine import SpeedScalingEngine
+from repro.workloads.generators import WeightedInstanceGenerator
+
+E3_KWARGS = dict(alphas=(2.0, 2.5, 3.0), epsilons=(0.25, 0.5), num_jobs=150)
+
+
+def test_e3_experiment(benchmark, report_sink):
+    """Time the full E3 sweep and verify the Theorem 2 budget on every row."""
+    result = benchmark.pedantic(
+        lambda: run_experiment("E3", **E3_KWARGS), rounds=1, iterations=1
+    )
+    report_sink(result.render())
+    for row in result.raw["rows"]:
+        if row["epsilon"] != "-":
+            assert row["rejected_weight_fraction"] <= row["budget_eps"] + 1e-9
+
+
+@pytest.mark.parametrize("alpha", [2.0, 3.0])
+def test_e3_scheduler_throughput(benchmark, alpha):
+    """Time a single Theorem 2 run on an 800-job speed-scaling workload."""
+    instance = WeightedInstanceGenerator(num_machines=4, alpha=alpha, seed=3).generate(800)
+    engine = SpeedScalingEngine(instance)
+
+    def run():
+        return engine.run(RejectionEnergyFlowScheduler(epsilon=0.3))
+
+    result = benchmark(run)
+    assert len(result.records) == 800

@@ -1,0 +1,47 @@
+"""Benchmark E4 — Theorem 3: non-preemptive energy minimisation with deadlines.
+
+Regenerates the E4 table (greedy and AVR energy vs the certified lower bound
+and the alpha^alpha guarantee) and times the configuration-LP greedy on a
+medium deadline workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.energy_min import ConfigLPEnergyScheduler
+from repro.experiments import run_experiment
+from repro.workloads.generators import DeadlineInstanceGenerator
+
+E4_KWARGS = dict(
+    alphas=(1.5, 2.0, 3.0),
+    slacks=(2.0, 4.0),
+    num_jobs=25,
+    include_brute_force=True,
+    brute_force_jobs=5,
+)
+
+
+def test_e4_experiment(benchmark, report_sink):
+    """Time the full E4 sweep; on tiny prefixes the greedy must be near the optimum."""
+    result = benchmark.pedantic(
+        lambda: run_experiment("E4", **E4_KWARGS), rounds=1, iterations=1
+    )
+    report_sink(result.render())
+    for row in result.raw.get("brute_force", []):
+        # Theorem 3 against the *discretised optimum*, with generous slack for
+        # the alpha^alpha bound (the greedy is usually near-optimal).
+        assert row["ratio_vs_opt"] >= 1.0 - 1e-9
+        assert row["ratio_vs_opt"] <= row["alpha"] ** row["alpha"] + 1e-6
+
+
+@pytest.mark.parametrize("slack", [2.0, 6.0])
+def test_e4_greedy_throughput(benchmark, slack):
+    """Time the configuration-LP greedy on a 60-job deadline instance."""
+    instance = DeadlineInstanceGenerator(
+        num_machines=3, slack=slack, alpha=2.0, seed=4
+    ).generate(60)
+    scheduler = ConfigLPEnergyScheduler()
+
+    schedule = benchmark.pedantic(lambda: scheduler.schedule(instance), rounds=2, iterations=1)
+    assert len(schedule.strategies) == 60

@@ -1,0 +1,25 @@
+"""Benchmark E5 — Lemma 2: the adaptive adversary for energy minimisation.
+
+Regenerates the E5 table (forced ratio vs alpha, next to the (alpha/9)^alpha
+lower bound and the alpha^alpha upper bound).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+E5_KWARGS = dict(alphas=(2.0, 3.0, 4.0, 5.0))
+
+
+def test_e5_experiment(benchmark, report_sink):
+    """Time the Lemma 2 game sweep and verify the ratio grows with alpha."""
+    result = benchmark.pedantic(
+        lambda: run_experiment("E5", **E5_KWARGS), rounds=1, iterations=1
+    )
+    report_sink(result.render())
+
+    rows = result.raw["rows"]
+    ratios = [row["forced_ratio"] for row in rows]
+    assert ratios == sorted(ratios)  # monotone in alpha
+    for row in rows:
+        assert row["forced_ratio"] <= row["theorem3_bound"] + 1e-6

@@ -1,0 +1,33 @@
+"""Benchmark E6 — rejection only vs speed augmentation plus rejection.
+
+Regenerates the E6 table comparing the Theorem 1 algorithm (unit-speed
+machines) against the ESA'16-style baseline running on (1+eps)-fast machines.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+E6_KWARGS = dict(epsilons=(0.25, 0.5), workloads=("poisson-pareto", "bursty-bimodal"))
+
+
+def test_e6_experiment(benchmark, report_sink):
+    """Time the E6 comparison and sanity-check the reported models."""
+    result = benchmark.pedantic(
+        lambda: run_experiment("E6", **E6_KWARGS), rounds=1, iterations=1
+    )
+    report_sink(result.render())
+
+    rows = result.raw["rows"]
+    assert any(row["model"].startswith("rejection-only") for row in rows)
+    assert any(row["model"].startswith("speed+rejection") for row in rows)
+    # The qualitative claim of the paper: on the same workloads, rejection-only
+    # on unit-speed machines stays within a small factor of the augmented runs.
+    for workload in {row["workload"] for row in rows}:
+        for epsilon in {row["epsilon"] for row in rows}:
+            pair = {
+                row["model"]: row["ratio_vs_lb"]
+                for row in rows
+                if row["workload"] == workload and row["epsilon"] == epsilon
+            }
+            assert pair["rejection-only (Thm 1)"] <= 5.0 * pair["speed+rejection (ESA'16)"]

@@ -1,0 +1,41 @@
+"""Benchmark E7 — dual-fitting certificates (Lemma 4 / Lemma 5 / Lemma 6).
+
+Regenerates the E7 tables (constraint checks, dual objective vs the analysis'
+lower bound) and times the dual reconstruction itself, which is the heaviest
+post-processing step in the library.
+"""
+
+from __future__ import annotations
+
+from repro.core.dual import FlowTimeDualAccountant
+from repro.core.flow_time import RejectionFlowTimeScheduler
+from repro.experiments import run_experiment
+from repro.simulation.engine import FlowTimeEngine
+from repro.workloads.generators import InstanceGenerator
+
+E7_KWARGS = dict(epsilons=(0.25, 0.5), num_jobs=60, samples_per_job=15)
+
+
+def test_e7_experiment(benchmark, report_sink):
+    """Time the E7 verification sweep; every sampled constraint must hold."""
+    result = benchmark.pedantic(
+        lambda: run_experiment("E7", **E7_KWARGS), rounds=1, iterations=1
+    )
+    report_sink(result.render())
+    assert all(row["violations"] == 0 for row in result.raw["flow"])
+    assert all(row["violations"] == 0 for row in result.raw["energy"])
+    assert all(row["monotonicity_violations"] == 0 for row in result.raw["energy"])
+
+
+def test_e7_dual_reconstruction_throughput(benchmark):
+    """Time building the Section 2 dual certificate for a 150-job run."""
+    instance = InstanceGenerator(num_machines=3, seed=5).generate(150)
+    scheduler = RejectionFlowTimeScheduler(epsilon=0.4)
+    result = FlowTimeEngine(instance).run(scheduler)
+
+    def build_and_check():
+        accountant = FlowTimeDualAccountant(result, scheduler)
+        return accountant.check_feasibility(samples_per_job=8)
+
+    check = benchmark(build_and_check)
+    assert check.feasible

@@ -1,0 +1,44 @@
+"""Benchmark E8 — simulator and algorithm scalability.
+
+Times the flow-time engine directly at several scales (this is the benchmark
+version of experiment E8; the experiment's own table reports events/second).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.greedy import GreedyDispatchScheduler
+from repro.core.flow_time import RejectionFlowTimeScheduler
+from repro.experiments import run_experiment
+from repro.simulation.engine import FlowTimeEngine
+from repro.workloads.generators import InstanceGenerator
+
+E8_KWARGS = dict(job_counts=(500, 2000), machine_counts=(4, 16), repeats=1)
+
+
+def test_e8_experiment(benchmark, report_sink):
+    """Run the E8 measurement sweep once and record its table."""
+    result = benchmark.pedantic(
+        lambda: run_experiment("E8", **E8_KWARGS), rounds=1, iterations=1
+    )
+    report_sink(result.render())
+    assert all(row["events_per_s"] > 0 for row in result.raw["rows"])
+
+
+@pytest.mark.parametrize("num_jobs", [1000, 5000])
+@pytest.mark.parametrize("scheduler_factory", [
+    lambda: RejectionFlowTimeScheduler(epsilon=0.5),
+    lambda: GreedyDispatchScheduler(),
+], ids=["theorem1", "greedy"])
+def test_e8_engine_throughput(benchmark, num_jobs, scheduler_factory):
+    """Raw engine throughput at 1k and 5k jobs on 8 machines."""
+    instance = InstanceGenerator(
+        num_machines=8, seed=6, size_distribution="exponential"
+    ).generate(num_jobs)
+    engine = FlowTimeEngine(instance)
+
+    result = benchmark.pedantic(
+        lambda: engine.run(scheduler_factory()), rounds=2, iterations=1
+    )
+    assert len(result.records) == num_jobs

@@ -1,0 +1,30 @@
+"""Benchmark E9 — ablation of the two rejection rules of the Theorem 1 algorithm.
+
+Regenerates the E9 table (flow time and rejection fraction for each subset of
+rules on random and adversarial workloads).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+E9_KWARGS = dict(
+    workloads=("poisson-pareto", "overload-burst", "lemma1-L16"), epsilon=0.25
+)
+
+
+def test_e9_experiment(benchmark, report_sink):
+    """Time the ablation sweep and verify the qualitative ordering of the variants."""
+    result = benchmark.pedantic(
+        lambda: run_experiment("E9", **E9_KWARGS), rounds=1, iterations=1
+    )
+    report_sink(result.render())
+
+    rows = result.raw["rows"]
+    by_workload: dict[str, dict[str, float]] = {}
+    for row in rows:
+        by_workload.setdefault(row["workload"], {})[row["rules"]] = row["flow_time"]
+    for workload, variants in by_workload.items():
+        # Using both rules never loses to using no rejection at all on these
+        # workloads (that gap is the point of the paper).
+        assert variants["both rules"] <= variants["no rejection"] + 1e-9

@@ -1,0 +1,38 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_eX_*.py`` regenerates one experiment of DESIGN.md's index (the
+reproduction's counterpart of the paper's tables/figures) and times it with
+pytest-benchmark.  The rendered result tables are printed at the end of the
+session so that running
+
+    pytest benchmarks/ --benchmark-only
+
+produces both the timing table and the experiment tables EXPERIMENTS.md quotes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+_REPORTS: list[str] = []
+
+
+def record_report(report: str) -> None:
+    """Store a rendered experiment table for the end-of-session summary."""
+    _REPORTS.append(report)
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    """Fixture handing benchmarks the report recorder."""
+    return record_report
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Print every recorded experiment table after the benchmark table."""
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep("=", "experiment tables (reproduction of the paper's claims)")
+    for report in _REPORTS:
+        terminalreporter.write_line(report)
+        terminalreporter.write_line("")

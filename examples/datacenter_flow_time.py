@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Data-center scenario: bursty heavy-tailed traffic on heterogeneous machines.
+
+This is the scenario the paper's introduction motivates: a cluster scheduler
+that cannot afford to preempt large jobs (checkpointing cost) and therefore
+schedules non-preemptively, but may *reject* (kill and offload) a small
+fraction of jobs.  The example compares, on a bursty bimodal workload over
+unrelated machines:
+
+* the Theorem 1 rejection scheduler for several epsilon values,
+* the rejection-free greedy and FCFS baselines,
+* an immediate-rejection policy (admission control at arrival only),
+
+and prints per-policy flow-time statistics, tail latencies and the rejection
+budget actually used.
+
+Run with::
+
+    python examples/datacenter_flow_time.py [--jobs 1500]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import FlowTimeEngine, summarize, validate_result
+from repro.analysis import ExperimentTable, describe
+from repro.baselines import FCFSScheduler, GreedyDispatchScheduler, ImmediateRejectionScheduler
+from repro.core import RejectionFlowTimeScheduler
+from repro.core.bounds import flow_time_competitive_ratio
+from repro.lowerbounds import best_flow_time_lower_bound
+from repro.workloads import InstanceGenerator
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=1500, help="number of jobs")
+    parser.add_argument("--machines", type=int, default=8, help="number of machines")
+    parser.add_argument("--seed", type=int, default=7, help="workload seed")
+    args = parser.parse_args()
+
+    generator = InstanceGenerator(
+        num_machines=args.machines,
+        arrival_process="bursty",
+        size_distribution="bimodal",
+        size_params={"short": 1.0, "long": 60.0, "long_fraction": 0.08},
+        machine_model="unrelated",
+        machine_correlation=0.3,
+        seed=args.seed,
+    )
+    instance = generator.generate(args.jobs)
+    lower_bound = best_flow_time_lower_bound(instance)
+    engine = FlowTimeEngine(instance)
+
+    policies = [
+        RejectionFlowTimeScheduler(epsilon=0.1),
+        RejectionFlowTimeScheduler(epsilon=0.25),
+        RejectionFlowTimeScheduler(epsilon=0.5),
+        ImmediateRejectionScheduler(epsilon=0.25, variant="largest"),
+        GreedyDispatchScheduler(),
+        FCFSScheduler(),
+    ]
+
+    table = ExperimentTable(
+        title=f"bursty bimodal cluster workload ({args.jobs} jobs, {args.machines} machines)",
+        columns=(
+            "policy",
+            "total_flow",
+            "mean_flow",
+            "p95_flow",
+            "max_flow",
+            "rejected_%",
+            "ratio_vs_lb",
+        ),
+    )
+    for policy in policies:
+        result = engine.run(policy)
+        validate_result(result)
+        stats = summarize(result)
+        flows = [record.flow_time for record in result.completed_records()]
+        dist = describe(flows)
+        table.add_row(
+            {
+                "policy": policy.name,
+                "total_flow": stats.total_flow_time,
+                "mean_flow": dist.mean,
+                "p95_flow": dist.p95,
+                "max_flow": dist.maximum,
+                "rejected_%": 100.0 * stats.rejected_fraction,
+                "ratio_vs_lb": stats.total_flow_time / lower_bound,
+            }
+        )
+    table.add_note(
+        "paper guarantee at eps=0.25: ratio <= "
+        f"{flow_time_competitive_ratio(0.25):.0f}, rejecting <= 50% of jobs "
+        "(observed rejections are far lower; the bound is worst-case)."
+    )
+    print(table.render(precision=2))
+
+
+if __name__ == "__main__":
+    main()

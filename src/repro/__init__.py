@@ -1,0 +1,81 @@
+"""repro — Online Non-preemptive Scheduling on Unrelated Machines with Rejections.
+
+A complete, executable reproduction of the SPAA 2018 paper by Lucarelli,
+Moseley, Thang, Srivastav and Trystram (arXiv:1802.10309).  The package
+contains:
+
+* :mod:`repro.simulation` — the event-driven, non-preemptive scheduling
+  simulator (unrelated machines, optional speed scaling) the algorithms run on;
+* :mod:`repro.core` — the paper's three algorithms (Theorems 1, 2 and 3),
+  their rejection rules and the dual-fitting certificates;
+* :mod:`repro.baselines` — reference schedulers the experiments compare
+  against (greedy without rejection, immediate rejection, speed augmentation,
+  SRPT, HDF, AVR, YDS, offline heuristics);
+* :mod:`repro.lowerbounds` — certified lower bounds on the offline optimum;
+* :mod:`repro.workloads` — synthetic workload generators, including the
+  adversarial constructions of Lemma 1 and Lemma 2;
+* :mod:`repro.analysis` — competitive-ratio estimation and report tables;
+* :mod:`repro.experiments` — the experiment suite (E1-E9) that plays the
+  role of the paper's tables and figures.
+
+Quickstart
+----------
+
+>>> from repro import quick_instance, RejectionFlowTimeScheduler, FlowTimeEngine
+>>> instance = quick_instance(num_jobs=50, num_machines=4, seed=0)
+>>> result = FlowTimeEngine(instance).run(RejectionFlowTimeScheduler(epsilon=0.5))
+>>> result.makespan() > 0
+True
+"""
+
+from repro.simulation import (
+    Job,
+    Machine,
+    Instance,
+    FlowTimeEngine,
+    SpeedScalingEngine,
+    SimulationResult,
+    summarize,
+    validate_result,
+)
+from repro.core import (
+    RejectionFlowTimeScheduler,
+    RejectionEnergyFlowScheduler,
+    ConfigLPEnergyScheduler,
+    FlowTimeDualAccountant,
+    EnergyFlowDualAccountant,
+)
+
+__version__ = "1.0.0"
+
+
+def quick_instance(num_jobs: int = 50, num_machines: int = 4, seed: int | None = 0, **kwargs):
+    """Generate a small random unrelated-machine instance (convenience helper).
+
+    Thin wrapper around
+    :class:`repro.workloads.generators.InstanceGenerator` with sensible
+    defaults; see that class for the full set of knobs.
+    """
+    from repro.workloads.generators import InstanceGenerator
+
+    generator = InstanceGenerator(num_machines=num_machines, seed=seed, **kwargs)
+    return generator.generate(num_jobs)
+
+
+__all__ = [
+    "Job",
+    "Machine",
+    "Instance",
+    "FlowTimeEngine",
+    "SpeedScalingEngine",
+    "SimulationResult",
+    "summarize",
+    "validate_result",
+    "RejectionFlowTimeScheduler",
+    "RejectionEnergyFlowScheduler",
+    "ConfigLPEnergyScheduler",
+    "FlowTimeDualAccountant",
+    "EnergyFlowDualAccountant",
+    "quick_instance",
+    "__version__",
+]

@@ -1,0 +1,88 @@
+"""Summary statistics used by experiment reports."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+
+
+@dataclass(frozen=True)
+class Distribution:
+    """Five-number-plus summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    p95: float
+    maximum: float
+
+    def as_dict(self) -> dict:
+        """Plain-dict view."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "p25": self.p25,
+            "median": self.median,
+            "p75": self.p75,
+            "p95": self.p95,
+            "max": self.maximum,
+        }
+
+
+def describe(values: Iterable[float]) -> Distribution:
+    """Compute the standard summary of a sample (empty samples allowed)."""
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        zero = 0.0
+        return Distribution(0, zero, zero, zero, zero, zero, zero, zero, zero)
+    return Distribution(
+        count=int(data.size),
+        mean=float(np.mean(data)),
+        std=float(np.std(data)),
+        minimum=float(np.min(data)),
+        p25=float(np.percentile(data, 25)),
+        median=float(np.percentile(data, 50)),
+        p75=float(np.percentile(data, 75)),
+        p95=float(np.percentile(data, 95)),
+        maximum=float(np.max(data)),
+    )
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (the right average for ratios)."""
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        raise InvalidParameterError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(np.asarray(values, dtype=float)))))
+
+
+def ratio_statistics(ratios: Sequence[float]) -> dict:
+    """Summary of a collection of competitive ratios (geometric mean + extremes)."""
+    finite = [r for r in ratios if math.isfinite(r)]
+    if not finite:
+        return {"count": 0, "geomean": math.nan, "max": math.nan, "min": math.nan}
+    return {
+        "count": len(finite),
+        "geomean": geometric_mean(finite),
+        "max": max(finite),
+        "min": min(finite),
+    }
+
+
+def relative_regret(cost: float, best: float) -> float:
+    """``cost/best - 1`` — how much worse than the best observed algorithm."""
+    if best <= 0:
+        return math.inf if cost > 0 else 0.0
+    return cost / best - 1.0

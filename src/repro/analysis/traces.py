@@ -1,0 +1,123 @@
+"""Schedule trace export and ASCII Gantt rendering.
+
+Turning a :class:`~repro.simulation.schedule.SimulationResult` into something a
+human can look at is the fastest way to debug a policy and to explain the
+paper's rejection rules.  This module provides:
+
+* :func:`result_to_trace` — a flat list of event dicts (start / completion /
+  rejection) suitable for CSV/JSON export or downstream plotting;
+* :func:`trace_to_csv` — write the trace as CSV text;
+* :func:`ascii_gantt` — a fixed-width Gantt chart, one row per machine, with
+  rejected executions marked distinctly.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+
+from repro.exceptions import InvalidParameterError
+from repro.simulation.schedule import SimulationResult
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One row of an exported schedule trace."""
+
+    time: float
+    kind: str
+    job_id: int
+    machine: int | None
+    detail: str = ""
+
+    def as_dict(self) -> dict:
+        """Plain-dict view (stable key order)."""
+        return {
+            "time": self.time,
+            "kind": self.kind,
+            "job_id": self.job_id,
+            "machine": self.machine,
+            "detail": self.detail,
+        }
+
+
+def result_to_trace(result: SimulationResult) -> list[TraceEvent]:
+    """Flatten a simulation result into a chronological list of trace events."""
+    events: list[TraceEvent] = []
+    for record in result.records.values():
+        events.append(
+            TraceEvent(
+                time=record.release, kind="release", job_id=record.job_id, machine=record.machine
+            )
+        )
+        if record.start is not None:
+            events.append(
+                TraceEvent(
+                    time=record.start, kind="start", job_id=record.job_id, machine=record.machine
+                )
+            )
+        if record.finished and record.completion is not None:
+            events.append(
+                TraceEvent(
+                    time=record.completion,
+                    kind="complete",
+                    job_id=record.job_id,
+                    machine=record.machine,
+                    detail=f"flow={record.flow_time:.4g}",
+                )
+            )
+        if record.rejected and record.rejection_time is not None:
+            events.append(
+                TraceEvent(
+                    time=record.rejection_time,
+                    kind="reject",
+                    job_id=record.job_id,
+                    machine=record.machine,
+                    detail=record.rejection_reason or "",
+                )
+            )
+    events.sort(key=lambda e: (e.time, e.job_id, e.kind))
+    return events
+
+
+def trace_to_csv(result: SimulationResult) -> str:
+    """Render the trace of a result as CSV text (header + one row per event)."""
+    buffer = io.StringIO()
+    buffer.write("time,kind,job_id,machine,detail\n")
+    for event in result_to_trace(result):
+        machine = "" if event.machine is None else event.machine
+        buffer.write(f"{event.time},{event.kind},{event.job_id},{machine},{event.detail}\n")
+    return buffer.getvalue()
+
+
+def ascii_gantt(result: SimulationResult, width: int = 80, label_width: int = 10) -> str:
+    """Render the schedule as a fixed-width ASCII Gantt chart.
+
+    One row per machine; each execution interval is drawn with the job id's
+    last digit, rejected (truncated) executions with ``x``.  Intended for
+    small instances and debugging sessions, not for thousand-job schedules.
+    """
+    if width < 20:
+        raise InvalidParameterError(f"width must be at least 20, got {width}")
+    makespan = result.makespan()
+    if makespan <= 0:
+        return "(empty schedule)"
+    scale = (width - label_width - 2) / makespan
+
+    lines = [f"time 0 .. {makespan:.2f}  (one column ~ {1.0 / scale:.2f} time units)"]
+    for machine in range(result.instance.num_machines):
+        row = [" "] * (width - label_width)
+        for interval in result.intervals_on(machine):
+            start_col = int(interval.start * scale)
+            end_col = max(start_col + 1, int(interval.end * scale))
+            glyph = "x" if not interval.completed else str(interval.job_id % 10)
+            for col in range(start_col, min(end_col, len(row))):
+                row[col] = glyph
+        label = f"m{machine}".ljust(label_width)
+        lines.append(label + "|" + "".join(row) + "|")
+    rejected = sum(1 for r in result.records.values() if r.rejected)
+    lines.append(
+        f"jobs: {len(result.records)}  rejected: {rejected}  "
+        f"algorithm: {result.algorithm}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,64 @@
+"""Baseline and reference schedulers the experiments compare against.
+
+Online non-preemptive baselines (same engine as the paper's algorithm):
+
+* :class:`~repro.baselines.greedy.GreedyDispatchScheduler` — dispatch to the
+  machine with the least added flow time, SPT local order, never rejects.
+* :class:`~repro.baselines.fcfs.FCFSScheduler` — earliest-release-first
+  dispatching to the least-loaded machine, FCFS local order, never rejects.
+* :class:`~repro.baselines.immediate_rejection.ImmediateRejectionScheduler` —
+  the policy family Lemma 1 proves is Ω(sqrt(Δ))-competitive: decides
+  rejection at arrival only.
+* :class:`~repro.baselines.speed_augmentation.SpeedAugmentedScheduler` — the
+  ESA'16-style algorithm that combines (1+eps_s)-speed machines with Rule-1
+  rejection, for the rejection-vs-augmentation comparison (E6).
+
+Preemptive / relaxed references (computed combinatorially, not on the
+non-preemptive engine — they serve as optimistic references, not as feasible
+competitors):
+
+* :func:`~repro.baselines.srpt.srpt_single_machine_flow_time` and
+  :func:`~repro.baselines.srpt.srpt_unrelated_lower_bound` — SRPT relaxations.
+* :class:`~repro.baselines.hdf.HighestDensityFirstScheduler` — preemptive HDF
+  with the standard ``(sum of fractional weights)^(1/alpha)`` speed scaling.
+* :func:`~repro.baselines.avr.average_rate_schedule` — AVR (Yao-Demers-Shenker).
+* :func:`~repro.baselines.yds.yds_schedule` — the optimal preemptive
+  single-machine energy schedule (a certified lower bound).
+
+Offline references:
+
+* :mod:`repro.baselines.offline` — offline list-scheduling heuristics and an
+  exact brute-force optimum for tiny instances.
+"""
+
+from repro.baselines.greedy import GreedyDispatchScheduler
+from repro.baselines.fcfs import FCFSScheduler
+from repro.baselines.immediate_rejection import ImmediateRejectionScheduler
+from repro.baselines.speed_augmentation import SpeedAugmentedScheduler
+from repro.baselines.srpt import srpt_single_machine_flow_time, srpt_unrelated_lower_bound
+from repro.baselines.hdf import HighestDensityFirstScheduler, NoRejectionEnergyFlowScheduler
+from repro.baselines.avr import average_rate_schedule, average_rate_energy
+from repro.baselines.yds import yds_schedule, yds_energy
+from repro.baselines.offline import (
+    offline_list_schedule,
+    brute_force_optimal_flow_time,
+    brute_force_optimal_energy,
+)
+
+__all__ = [
+    "GreedyDispatchScheduler",
+    "FCFSScheduler",
+    "ImmediateRejectionScheduler",
+    "SpeedAugmentedScheduler",
+    "srpt_single_machine_flow_time",
+    "srpt_unrelated_lower_bound",
+    "HighestDensityFirstScheduler",
+    "NoRejectionEnergyFlowScheduler",
+    "average_rate_schedule",
+    "average_rate_energy",
+    "yds_schedule",
+    "yds_energy",
+    "offline_list_schedule",
+    "brute_force_optimal_flow_time",
+    "brute_force_optimal_energy",
+]

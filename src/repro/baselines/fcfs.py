@@ -1,0 +1,51 @@
+"""First-come-first-served baseline.
+
+The weakest sensible online policy: dispatch each arriving job to the machine
+whose queue currently holds the least total work (accounting for the running
+job), and run each machine's queue in arrival order.  Used as the naive
+reference point in the experiment tables.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import InvalidParameterError
+from repro.simulation.engine import ArrivalDecision, FlowTimePolicy
+from repro.simulation.instance import Instance
+from repro.simulation.job import Job
+from repro.simulation.state import EngineState
+
+
+class FCFSScheduler(FlowTimePolicy):
+    """Least-loaded dispatching with first-come-first-served local order."""
+
+    name = "fcfs"
+
+    def reset(self, instance: Instance) -> None:
+        """No per-run state."""
+
+    def machine_backlog(self, machine: int, state: EngineState, job: Job) -> float:
+        """Total work queued on ``machine`` plus the job's own size there."""
+        running = state.running(machine)
+        backlog = running.remaining_work(state.time) if running is not None else 0.0
+        backlog += state.pending_total_size(machine)
+        return backlog + job.size_on(machine)
+
+    def on_arrival(self, t: float, job: Job, state: EngineState) -> ArrivalDecision:
+        """Dispatch to the machine with the smallest backlog including the new job."""
+        best_machine: int | None = None
+        best_value = float("inf")
+        for machine in job.eligible_machines():
+            value = self.machine_backlog(machine, state, job)
+            if value < best_value:
+                best_machine, best_value = machine, value
+        if best_machine is None:
+            raise InvalidParameterError(f"job {job.id} cannot run on any machine")
+        return ArrivalDecision.dispatch(best_machine)
+
+    def select_next(self, t: float, machine: int, state: EngineState) -> int | None:
+        """Run pending jobs in release order."""
+        pending = state.pending_jobs(machine)
+        if not pending:
+            return None
+        chosen = min(pending, key=lambda job: (job.release, job.id))
+        return chosen.id

@@ -1,0 +1,82 @@
+"""Greedy dispatch without rejection.
+
+This is the natural rejection-free counterpart of the Theorem 1 algorithm:
+jobs are dispatched to the machine that minimises the same marginal-increase
+surrogate (with the ``p_ij/epsilon`` term dropped, since there is no rejection
+budget to amortise against) and each machine runs its pending jobs in SPT
+order.  The paper's lower bounds imply that no such algorithm can be
+constant-competitive; experiments E1/E2 use it to show the gap the rejection
+rules close.
+"""
+
+from __future__ import annotations
+
+from repro.core.ordering import spt_key, split_by_precedence
+from repro.exceptions import InvalidParameterError
+from repro.simulation.engine import ArrivalDecision, FlowTimePolicy
+from repro.simulation.instance import Instance
+from repro.simulation.job import Job
+from repro.simulation.state import EngineState
+
+
+class GreedyDispatchScheduler(FlowTimePolicy):
+    """Dispatch to the machine with the least marginal flow-time increase; never reject.
+
+    Parameters
+    ----------
+    local_order:
+        ``"spt"`` (default) runs pending jobs shortest-first;``"fcfs"`` runs
+        them in dispatch order.  SPT is the stronger baseline and the one the
+        experiments use unless stated otherwise.
+    """
+
+    def __init__(self, local_order: str = "spt") -> None:
+        if local_order not in ("spt", "fcfs"):
+            raise InvalidParameterError(f"unknown local order {local_order!r}")
+        self.local_order = local_order
+        self.name = f"greedy-no-rejection({local_order})"
+
+    def reset(self, instance: Instance) -> None:
+        """No per-run state."""
+
+    def marginal_increase(self, job: Job, machine: int, state: EngineState) -> float:
+        """Estimated flow-time increase of dispatching ``job`` to ``machine``.
+
+        The estimate is the same structural quantity the paper's ``lambda_ij``
+        captures — the job's own waiting plus processing, plus the delay it
+        inflicts on lower-priority pending jobs — plus the remaining work of
+        the running job, which a rejection-free algorithm cannot avoid paying.
+        """
+        p_ij = job.size_on(machine)
+        running = state.running(machine)
+        backlog = running.remaining_work(state.time) if running is not None else 0.0
+        pending = state.pending_jobs(machine)
+        if self.local_order == "spt":
+            preceding, succeeding = split_by_precedence(job, pending, machine, weighted=False)
+            waiting = sum(other.size_on(machine) for other in preceding)
+            return backlog + waiting + p_ij + len(succeeding) * p_ij
+        waiting = sum(other.size_on(machine) for other in pending)
+        return backlog + waiting + p_ij
+
+    def on_arrival(self, t: float, job: Job, state: EngineState) -> ArrivalDecision:
+        """Dispatch to the machine with the smallest marginal increase."""
+        best_machine: int | None = None
+        best_value = float("inf")
+        for machine in job.eligible_machines():
+            value = self.marginal_increase(job, machine, state)
+            if value < best_value:
+                best_machine, best_value = machine, value
+        if best_machine is None:
+            raise InvalidParameterError(f"job {job.id} cannot run on any machine")
+        return ArrivalDecision.dispatch(best_machine)
+
+    def select_next(self, t: float, machine: int, state: EngineState) -> int | None:
+        """Run pending jobs in the configured local order."""
+        pending = state.pending_jobs(machine)
+        if not pending:
+            return None
+        if self.local_order == "spt":
+            chosen = min(pending, key=lambda job: spt_key(job, machine))
+        else:
+            chosen = min(pending, key=lambda job: (job.release, job.id))
+        return chosen.id

@@ -1,0 +1,122 @@
+"""Immediate-rejection policies (the subject of Lemma 1).
+
+Lemma 1 of the paper shows that *any* policy that must decide whether to
+reject a job immediately upon its arrival — instead of being allowed to evict
+a job it accepted earlier — has competitive ratio Ω(sqrt(Δ)) even on a single
+machine, where Δ is the ratio of the largest to the smallest processing time.
+
+This module implements a configurable family of such policies so experiment
+E2 can plot their degradation against the paper's algorithm (which rejects
+*previously accepted* jobs and stays constant-competitive).
+
+Every variant keeps the rejection budget: at most an ``epsilon`` fraction of
+the jobs seen so far may be rejected (the budget is tracked online, so the
+policy is a legal ``epsilon``-rejection policy in the sense of the lemma).
+"""
+
+from __future__ import annotations
+
+from repro.core.ordering import spt_key
+from repro.exceptions import InvalidParameterError
+from repro.simulation.engine import ArrivalDecision, FlowTimePolicy
+from repro.simulation.instance import Instance
+from repro.simulation.job import Job
+from repro.simulation.state import EngineState
+
+
+class ImmediateRejectionScheduler(FlowTimePolicy):
+    """Decide rejection at arrival time only; otherwise greedy SPT scheduling.
+
+    Parameters
+    ----------
+    epsilon:
+        Online rejection budget: the policy never lets the number of rejected
+        jobs exceed ``epsilon`` times the number of released jobs.
+    variant:
+        Which jobs to spend the budget on:
+
+        * ``"largest"`` — reject an arriving job when its processing time is
+          large relative to the work already queued (greedy intuition: long
+          jobs hurt flow time most);
+        * ``"overload"`` — reject an arriving job when the queue it would join
+          already exceeds a backlog threshold;
+        * ``"never"`` — never reject (pure greedy), the degenerate member of
+          the family.
+    backlog_factor:
+        Threshold multiplier used by the ``overload`` variant.
+    """
+
+    def __init__(
+        self,
+        epsilon: float,
+        variant: str = "largest",
+        backlog_factor: float = 4.0,
+    ) -> None:
+        if not (epsilon >= 0):
+            raise InvalidParameterError(f"epsilon must be non-negative, got {epsilon}")
+        if variant not in ("largest", "overload", "never"):
+            raise InvalidParameterError(f"unknown variant {variant!r}")
+        self.epsilon = epsilon
+        self.variant = variant
+        self.backlog_factor = backlog_factor
+        self.name = f"immediate-rejection({variant},eps={epsilon:g})"
+        self._seen = 0
+        self._rejected = 0
+
+    def reset(self, instance: Instance) -> None:
+        """Reset the online budget counters."""
+        self._seen = 0
+        self._rejected = 0
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _budget_available(self) -> bool:
+        """``True`` when rejecting one more job keeps the fraction within epsilon."""
+        return (self._rejected + 1) <= self.epsilon * self._seen
+
+    def _best_machine(self, job: Job, state: EngineState) -> int:
+        best_machine: int | None = None
+        best_value = float("inf")
+        for machine in job.eligible_machines():
+            running = state.running(machine)
+            backlog = running.remaining_work(state.time) if running is not None else 0.0
+            backlog += state.pending_total_size(machine)
+            value = backlog + job.size_on(machine)
+            if value < best_value:
+                best_machine, best_value = machine, value
+        if best_machine is None:
+            raise InvalidParameterError(f"job {job.id} cannot run on any machine")
+        return best_machine
+
+    def _should_reject(self, job: Job, machine: int, state: EngineState) -> bool:
+        if self.variant == "never" or not self._budget_available():
+            return False
+        running = state.running(machine)
+        backlog = running.remaining_work(state.time) if running is not None else 0.0
+        backlog += state.pending_total_size(machine)
+        p = job.size_on(machine)
+        if self.variant == "largest":
+            # Spend the budget on jobs that are long compared to the queue
+            # they would join: they delay every shorter job behind them.
+            return p > max(backlog, 1e-12)
+        # "overload": spend the budget when the queue is already deep.
+        return backlog > self.backlog_factor * p
+
+    # -- policy hooks --------------------------------------------------------------
+
+    def on_arrival(self, t: float, job: Job, state: EngineState) -> ArrivalDecision:
+        """Reject-or-dispatch decided instantly, as Lemma 1 requires."""
+        self._seen += 1
+        machine = self._best_machine(job, state)
+        if self._should_reject(job, machine, state):
+            self._rejected += 1
+            return ArrivalDecision.reject()
+        return ArrivalDecision.dispatch(machine)
+
+    def select_next(self, t: float, machine: int, state: EngineState) -> int | None:
+        """Run pending jobs shortest-first (the strongest local order)."""
+        pending = state.pending_jobs(machine)
+        if not pending:
+            return None
+        chosen = min(pending, key=lambda job: spt_key(job, machine))
+        return chosen.id

@@ -1,0 +1,162 @@
+"""Command-line interface.
+
+Three subcommands cover the common workflows::
+
+    python -m repro experiments --only E1 E2 --scale small
+    python -m repro simulate --jobs 200 --machines 4 --epsilon 0.5 --policy theorem1 --gantt
+    python -m repro bounds --epsilon 0.25 --alpha 3
+
+* ``experiments`` regenerates experiment tables (same engine as the benchmark
+  harness and ``examples/reproduce_experiments.py``).
+* ``simulate`` generates a random workload, runs one of the flow-time policies
+  and prints the summary (optionally an ASCII Gantt chart and a CSV trace).
+* ``bounds`` prints the paper's closed-form guarantees for given parameters.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.traces import ascii_gantt, trace_to_csv
+from repro.baselines.fcfs import FCFSScheduler
+from repro.baselines.greedy import GreedyDispatchScheduler
+from repro.baselines.immediate_rejection import ImmediateRejectionScheduler
+from repro.core.bounds import (
+    energy_flow_competitive_ratio,
+    energy_min_competitive_ratio,
+    energy_min_lower_bound,
+    flow_time_competitive_ratio,
+    flow_time_rejection_budget,
+)
+from repro.core.flow_time import RejectionFlowTimeScheduler
+from repro.experiments import available_experiments, run_experiment
+from repro.lowerbounds.flow_combinatorial import best_flow_time_lower_bound
+from repro.simulation.engine import FlowTimeEngine
+from repro.simulation.metrics import summarize
+from repro.simulation.validation import validate_result
+from repro.workloads.generators import InstanceGenerator
+
+_POLICIES = {
+    "theorem1": lambda args: RejectionFlowTimeScheduler(epsilon=args.epsilon),
+    "greedy": lambda args: GreedyDispatchScheduler(),
+    "fcfs": lambda args: FCFSScheduler(),
+    "immediate": lambda args: ImmediateRejectionScheduler(epsilon=args.epsilon),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    experiments = subparsers.add_parser(
+        "experiments", help="run experiments E1-E9 and print their tables"
+    )
+    experiments.add_argument("--only", nargs="*", default=None, help="experiment ids to run")
+    experiments.add_argument("--list", action="store_true", help="list experiments and exit")
+
+    simulate = subparsers.add_parser(
+        "simulate", help="run one flow-time policy on a random workload"
+    )
+    simulate.add_argument("--jobs", type=int, default=200)
+    simulate.add_argument("--machines", type=int, default=4)
+    simulate.add_argument("--epsilon", type=float, default=0.5)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--policy", choices=sorted(_POLICIES), default="theorem1")
+    simulate.add_argument("--size-distribution", default="pareto",
+                          choices=("uniform", "exponential", "pareto", "bimodal"))
+    simulate.add_argument("--gantt", action="store_true", help="print an ASCII Gantt chart")
+    simulate.add_argument("--trace", action="store_true", help="print the CSV schedule trace")
+
+    bounds = subparsers.add_parser("bounds", help="print the paper's closed-form guarantees")
+    bounds.add_argument("--epsilon", type=float, default=0.5)
+    bounds.add_argument("--alpha", type=float, default=3.0)
+
+    return parser
+
+
+def _cmd_experiments(args: argparse.Namespace, out) -> int:
+    if args.list:
+        for experiment_id, description in available_experiments().items():
+            print(f"{experiment_id}: {description}", file=out)
+        return 0
+    ids = [e.upper() for e in (args.only or available_experiments())]
+    for experiment_id in ids:
+        result = run_experiment(experiment_id)
+        print(result.render(), file=out)
+        print("", file=out)
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace, out) -> int:
+    generator = InstanceGenerator(
+        num_machines=args.machines,
+        size_distribution=args.size_distribution,
+        seed=args.seed,
+    )
+    instance = generator.generate(args.jobs)
+    policy = _POLICIES[args.policy](args)
+    result = FlowTimeEngine(instance).run(policy)
+    validate_result(result)
+    stats = summarize(result)
+
+    lower_bound = best_flow_time_lower_bound(instance)
+    print(f"instance      : {instance.name}", file=out)
+    print(f"policy        : {result.algorithm}", file=out)
+    print(f"total flow    : {stats.total_flow_time:.2f}", file=out)
+    print(f"rejected      : {stats.rejected_count} ({100 * stats.rejected_fraction:.1f}%)", file=out)
+    print(f"ratio vs LB   : {stats.total_flow_time / lower_bound:.3f}", file=out)
+    if args.policy == "theorem1":
+        print(
+            f"paper bound   : {flow_time_competitive_ratio(args.epsilon):.1f} "
+            f"(rejecting at most {100 * flow_time_rejection_budget(args.epsilon):.0f}% of jobs)",
+            file=out,
+        )
+    if args.gantt:
+        print("", file=out)
+        print(ascii_gantt(result), file=out)
+    if args.trace:
+        print("", file=out)
+        print(trace_to_csv(result), file=out, end="")
+    return 0
+
+
+def _cmd_bounds(args: argparse.Namespace, out) -> int:
+    print(f"epsilon = {args.epsilon}, alpha = {args.alpha}", file=out)
+    print(
+        f"Theorem 1 (flow time)         : ratio <= {flow_time_competitive_ratio(args.epsilon):.3f}, "
+        f"rejections <= {flow_time_rejection_budget(args.epsilon):.3f} of the jobs",
+        file=out,
+    )
+    print(
+        f"Theorem 2 (flow time + energy): ratio <= "
+        f"{energy_flow_competitive_ratio(args.epsilon, args.alpha):.3f}, "
+        f"rejected weight <= {args.epsilon:.3f} of the total",
+        file=out,
+    )
+    print(
+        f"Theorem 3 (energy, deadlines) : ratio <= {energy_min_competitive_ratio(args.alpha):.3f}",
+        file=out,
+    )
+    print(
+        f"Lemma 2   (lower bound)       : ratio >= {energy_min_lower_bound(args.alpha):.6f} "
+        "for every deterministic algorithm",
+        file=out,
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "experiments":
+        return _cmd_experiments(args, out)
+    if args.command == "simulate":
+        return _cmd_simulate(args, out)
+    return _cmd_bounds(args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,123 @@
+"""Closed-form theoretical guarantees stated in the paper.
+
+These formulas are what the experiments compare empirical measurements
+against; keeping them in one module avoids magic numbers in benchmarks and
+tests.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import InvalidParameterError
+
+
+def flow_time_competitive_ratio(epsilon: float) -> float:
+    """Theorem 1 guarantee: ``2 * ((1 + eps) / eps)**2``.
+
+    The algorithm of Section 2 is guaranteed to be at most this factor away
+    from the optimal total flow time while rejecting at most a ``2 * eps``
+    fraction of the jobs.
+    """
+    if not (epsilon > 0):
+        raise InvalidParameterError(f"epsilon must be positive, got {epsilon}")
+    return 2.0 * ((1.0 + epsilon) / epsilon) ** 2
+
+
+def flow_time_rejection_budget(epsilon: float) -> float:
+    """Theorem 1 rejection budget: at most a ``2 * eps`` fraction of all jobs."""
+    if not (epsilon > 0):
+        raise InvalidParameterError(f"epsilon must be positive, got {epsilon}")
+    return min(1.0, 2.0 * epsilon)
+
+
+def energy_flow_gamma(epsilon: float, alpha: float) -> float:
+    """The speed-scaling constant γ chosen in the proof of Theorem 2.
+
+    The paper sets ``γ = (eps/(1+eps))^{1/(α−1)} * (1/(α−1)) *
+    (α − 1 + ln(α−1))^{(α−1)/α}``.  For ``α`` close to 1 the expression
+    ``α − 1 + ln(α − 1)`` becomes negative and the closed form is not usable;
+    in that regime we fall back to ``γ = (eps/(1+eps))^{1/(α−1)}`` which keeps
+    the algorithm well defined (the guarantee of Theorem 2 is asymptotic in
+    any case).  The fallback is documented behaviour, exercised by tests.
+    """
+    if not (epsilon > 0):
+        raise InvalidParameterError(f"epsilon must be positive, got {epsilon}")
+    if not (alpha > 1):
+        raise InvalidParameterError(f"alpha must exceed 1, got {alpha}")
+    base = (epsilon / (1.0 + epsilon)) ** (1.0 / (alpha - 1.0))
+    inner = (alpha - 1.0) + math.log(alpha - 1.0) if alpha > 1.0 else 0.0
+    if inner <= 0:
+        return base
+    return base * (1.0 / (alpha - 1.0)) * inner ** ((alpha - 1.0) / alpha)
+
+
+def energy_flow_competitive_ratio(epsilon: float, alpha: float) -> float:
+    """Theorem 2 guarantee, in the explicit form derived in the proof.
+
+    With the paper's γ the ratio is
+    ``(2 + 2*((1+eps)/eps)^{1/(α−1)} + (eps/(1+eps))^2) /
+    ((eps/(1+eps)) * ln(α−1)/(α−1+ln(α−1)))`` and is ``O((1 + 1/eps)^{α/(α−1)})``.
+    For ``α`` where the denominator degenerates (``α <= 2`` makes
+    ``ln(α−1) <= 0``) we return the asymptotic envelope
+    ``c * (1 + 1/eps)^{α/(α−1)}`` with ``c = 8``, which upper bounds the
+    paper's constant for the α range it targets (α in (1, 3]).
+    """
+    if not (epsilon > 0):
+        raise InvalidParameterError(f"epsilon must be positive, got {epsilon}")
+    if not (alpha > 1):
+        raise InvalidParameterError(f"alpha must exceed 1, got {alpha}")
+    envelope = 8.0 * (1.0 + 1.0 / epsilon) ** (alpha / (alpha - 1.0))
+    log_term = math.log(alpha - 1.0) if alpha > 1.0 else 0.0
+    denom_core = (alpha - 1.0) + log_term
+    if log_term <= 0 or denom_core <= 0:
+        return envelope
+    numerator = 2.0 + 2.0 * ((1.0 + epsilon) / epsilon) ** (1.0 / (alpha - 1.0)) + (
+        epsilon / (1.0 + epsilon)
+    ) ** 2
+    denominator = (epsilon / (1.0 + epsilon)) * (log_term / denom_core)
+    explicit = numerator / denominator
+    return min(explicit, envelope) if explicit > 0 else envelope
+
+
+def energy_flow_rejection_budget(epsilon: float) -> float:
+    """Theorem 2 rejection budget: at most an ``eps`` fraction of total weight."""
+    if not (epsilon > 0):
+        raise InvalidParameterError(f"epsilon must be positive, got {epsilon}")
+    return min(1.0, epsilon)
+
+
+def energy_min_competitive_ratio(alpha: float) -> float:
+    """Theorem 3 guarantee for power functions ``P(s) = s**alpha``: ``alpha**alpha``."""
+    if not (alpha >= 1):
+        raise InvalidParameterError(f"alpha must be at least 1, got {alpha}")
+    return alpha**alpha
+
+
+def energy_min_lower_bound(alpha: float) -> float:
+    """Lemma 2: every deterministic algorithm is at least ``(alpha/9)**alpha`` competitive."""
+    if not (alpha >= 1):
+        raise InvalidParameterError(f"alpha must be at least 1, got {alpha}")
+    return (alpha / 9.0) ** alpha
+
+
+def immediate_rejection_lower_bound(delta: float, constant: float = 0.25) -> float:
+    """Lemma 1: immediate-rejection policies are ``Omega(sqrt(delta))`` competitive.
+
+    ``delta`` is the ratio of the largest to the smallest processing time of
+    the instance; ``constant`` is the hidden constant used when plotting the
+    envelope in experiment E2.
+    """
+    if not (delta >= 1):
+        raise InvalidParameterError(f"delta must be at least 1, got {delta}")
+    return constant * math.sqrt(delta)
+
+
+def speed_augmentation_competitive_ratio(epsilon_speed: float, epsilon_reject: float) -> float:
+    """Guarantee of the ESA'16 algorithm [5]: ``O(1/(eps_s * eps_r))``.
+
+    Used as the reference envelope in experiment E6 (hidden constant 1).
+    """
+    if not (epsilon_speed > 0 and epsilon_reject > 0):
+        raise InvalidParameterError("both augmentation parameters must be positive")
+    return 1.0 / (epsilon_speed * epsilon_reject)

@@ -1,0 +1,248 @@
+"""Theorem 1 algorithm: total flow-time minimisation with rejections.
+
+The scheduler follows Section 2 of the paper exactly:
+
+* **Dispatching.**  When job ``j`` arrives at time ``r_j`` it is immediately
+  dispatched to the machine minimising
+
+  .. math::
+
+      \\lambda_{ij} = \\tfrac{1}{\\epsilon} p_{ij}
+                      + \\sum_{\\ell \\preceq j} p_{i\\ell}
+                      + \\sum_{\\ell \\succ j} p_{ij}
+
+  where ``\\ell`` ranges over the *pending* jobs of machine ``i`` (excluding
+  the one currently running) and ``\\preceq`` is the shortest-processing-time
+  order on machine ``i`` (ties by release time).  The dual variable
+  ``\\lambda_j = \\tfrac{\\epsilon}{1+\\epsilon}\\min_i \\lambda_{ij}`` is
+  recorded for the dual-fitting verification (Lemma 4 / experiment E7).
+
+* **Local scheduling.**  Whenever a machine becomes idle it starts the
+  pending job that precedes all others in the SPT order.
+
+* **Rejection Rule 1.**  The running job ``k`` of machine ``i`` is rejected
+  the first time ``ceil(1/epsilon)`` jobs have been dispatched to ``i``
+  during its execution.
+
+* **Rejection Rule 2.**  Every ``ceil(1 + 1/epsilon)`` dispatches to machine
+  ``i`` (counted by ``c_i``), the pending job with the largest processing
+  time on ``i`` is rejected and ``c_i`` resets.
+
+Both rules can be disabled individually (``enable_rule1`` / ``enable_rule2``)
+for the ablation experiment E9; with both disabled the scheduler degenerates
+into the rejection-free greedy baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.ordering import spt_key, split_by_precedence
+from repro.core.rejection import (
+    MachineArrivalCounter,
+    RejectionLog,
+    RunningJobCounter,
+    check_epsilon,
+)
+from repro.exceptions import InvalidParameterError
+from repro.simulation.engine import ArrivalDecision, FlowTimePolicy, Rejection
+from repro.simulation.instance import Instance
+from repro.simulation.job import Job
+from repro.simulation.state import EngineState
+
+
+@dataclass(frozen=True, slots=True)
+class Rule1Event:
+    """A Rule-1 rejection: which machine, when, and the remaining work discarded."""
+
+    machine: int
+    time: float
+    job_id: int
+    remaining_work: float
+
+
+@dataclass(frozen=True, slots=True)
+class Rule2Event:
+    """A Rule-2 rejection and the definitive-finish adjustment of the paper."""
+
+    machine: int
+    time: float
+    job_id: int
+    adjustment: float
+
+
+class RejectionFlowTimeScheduler(FlowTimePolicy):
+    """The Section 2 online algorithm (Theorem 1).
+
+    Parameters
+    ----------
+    epsilon:
+        Rejection parameter in ``(0, 1)``; the algorithm rejects at most a
+        ``2 * epsilon`` fraction of the jobs and is
+        ``2((1+epsilon)/epsilon)^2``-competitive.
+    enable_rule1, enable_rule2:
+        Ablation switches; the paper's algorithm uses both.
+    """
+
+    def __init__(
+        self,
+        epsilon: float,
+        enable_rule1: bool = True,
+        enable_rule2: bool = True,
+    ) -> None:
+        self.epsilon = check_epsilon(epsilon)
+        self.enable_rule1 = enable_rule1
+        self.enable_rule2 = enable_rule2
+        rules = []
+        if enable_rule1:
+            rules.append("r1")
+        if enable_rule2:
+            rules.append("r2")
+        suffix = "+".join(rules) if rules else "none"
+        self.name = f"rejection-flow-time(eps={epsilon:g},{suffix})"
+        self.reset_state()
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def reset_state(self) -> None:
+        """Clear all per-run bookkeeping."""
+        self._instance: Instance | None = None
+        self._rule1: dict[int, RunningJobCounter] = {}
+        self._rule2: dict[int, MachineArrivalCounter] = {}
+        self.lambdas: dict[int, float] = {}
+        self.lambda_choices: dict[int, tuple[int, float]] = {}
+        self.rule1_events: list[Rule1Event] = []
+        self.rule2_events: list[Rule2Event] = []
+        self.log = RejectionLog()
+
+    def reset(self, instance: Instance) -> None:
+        """Engine hook: prepare for a fresh simulation of ``instance``."""
+        self.reset_state()
+        self._instance = instance
+        self._rule2 = {
+            i: MachineArrivalCounter(self.epsilon) for i in range(instance.num_machines)
+        }
+
+    # -- dispatching ---------------------------------------------------------------
+
+    def lambda_ij(self, job: Job, machine: int, state: EngineState) -> float:
+        """The marginal-increase surrogate ``lambda_ij`` of the paper."""
+        p_ij = job.size_on(machine)
+        pending = state.pending_jobs(machine)
+        preceding, succeeding = split_by_precedence(job, pending, machine, weighted=False)
+        waiting = sum(other.size_on(machine) for other in preceding)
+        return (p_ij / self.epsilon) + (waiting + p_ij) + len(succeeding) * p_ij
+
+    def on_arrival(self, t: float, job: Job, state: EngineState) -> ArrivalDecision:
+        """Dispatch ``job`` to the machine minimising ``lambda_ij`` and apply the rules."""
+        best_machine: int | None = None
+        best_lambda = float("inf")
+        for machine in job.eligible_machines():
+            lam = self.lambda_ij(job, machine, state)
+            if lam < best_lambda:
+                best_machine, best_lambda = machine, lam
+        if best_machine is None:
+            raise InvalidParameterError(f"job {job.id} cannot run on any machine")
+
+        self.lambdas[job.id] = (self.epsilon / (1.0 + self.epsilon)) * best_lambda
+        self.lambda_choices[job.id] = (best_machine, best_lambda)
+
+        rejections: list[Rejection] = []
+
+        # Rule 1: the arriving job is one more dispatch during the execution of
+        # the running job of the chosen machine.
+        running = state.running(best_machine)
+        if self.enable_rule1 and running is not None:
+            counter = self._rule1.get(best_machine)
+            if counter is not None and counter.job_id == running.job.id:
+                if counter.counter.record_dispatch():
+                    rejections.append(Rejection(running.job.id, reason="rule1"))
+                    self.rule1_events.append(
+                        Rule1Event(
+                            machine=best_machine,
+                            time=t,
+                            job_id=running.job.id,
+                            remaining_work=running.remaining_work(t),
+                        )
+                    )
+                    self.log.rule1.append(running.job.id)
+                    del self._rule1[best_machine]
+
+        # Rule 2: one more dispatch to the chosen machine; on firing, evict the
+        # pending job (including the one arriving right now) with the largest
+        # processing time on that machine.
+        if self.enable_rule2:
+            counter2 = self._rule2[best_machine]
+            if counter2.record_dispatch():
+                candidates = [
+                    other
+                    for other in state.pending_jobs(best_machine)
+                    if all(other.id != r.job_id for r in rejections)
+                ]
+                candidates.append(job)
+                victim = max(
+                    candidates, key=lambda cand: (cand.size_on(best_machine), -cand.release, cand.id)
+                )
+                adjustment = self._rule2_adjustment(t, job, victim, best_machine, state)
+                rejections.append(Rejection(victim.id, reason="rule2"))
+                self.rule2_events.append(
+                    Rule2Event(
+                        machine=best_machine, time=t, job_id=victim.id, adjustment=adjustment
+                    )
+                )
+                self.log.rule2.append(victim.id)
+
+        return ArrivalDecision.dispatch(best_machine, rejections)
+
+    def _rule2_adjustment(
+        self, t: float, arriving: Job, victim: Job, machine: int, state: EngineState
+    ) -> float:
+        """Definitive-finish adjustment of a Rule-2 rejected job (Section 2).
+
+        The paper extends the completion time of a job rejected by Rule 2 by
+        ``q_ik(r_jj) + sum_{l != jj} p_il + p_ij`` — the remaining work of the
+        running job, the processing times of the other pending jobs and the
+        rejected job's own processing time — so that the dual variables keep
+        accounting for it until that later time.
+        """
+        running = state.running(machine)
+        remaining = running.remaining_work(t) if running is not None else 0.0
+        pending_total = sum(
+            other.size_on(machine)
+            for other in state.pending_jobs(machine)
+            if other.id != arriving.id
+        )
+        return remaining + pending_total + victim.size_on(machine)
+
+    # -- local scheduling ----------------------------------------------------------
+
+    def select_next(self, t: float, machine: int, state: EngineState) -> int | None:
+        """Start the pending job that precedes all others in the SPT order."""
+        pending = state.pending_jobs(machine)
+        if not pending:
+            return None
+        chosen = min(pending, key=lambda job: spt_key(job, machine))
+        if self.enable_rule1:
+            self._rule1[machine] = _TrackedCounter(
+                job_id=chosen.id, counter=RunningJobCounter(self.epsilon)
+            )
+        return chosen.id
+
+    # -- reporting -----------------------------------------------------------------
+
+    def diagnostics(self) -> dict:
+        """Per-run diagnostics merged into the simulation result's extras."""
+        return {
+            "lambda_sum": sum(self.lambdas.values()),
+            **self.log.as_dict(),
+            "rule1_events": len(self.rule1_events),
+            "rule2_events": len(self.rule2_events),
+        }
+
+
+@dataclass
+class _TrackedCounter:
+    """A Rule-1 counter together with the job it belongs to."""
+
+    job_id: int
+    counter: RunningJobCounter

@@ -1,0 +1,228 @@
+"""Theorem 2 algorithm: weighted flow-time plus energy with rejections.
+
+Section 3 of the paper considers the speed-scaling model: running machine
+``i`` at speed ``s`` costs power ``P(s) = s**alpha``, and the objective is the
+total *weighted* flow time plus the total energy.  The algorithm:
+
+* **Ordering.**  Pending jobs of a machine are ordered by non-increasing
+  density ``delta_ij = w_j / p_ij`` (ties by release time).
+
+* **Local scheduling and speed.**  When machine ``i`` becomes idle it starts
+  the highest-density pending job at speed
+  ``gamma * (sum of the weights of the pending jobs)**(1/alpha)``; the speed
+  stays constant for the whole (non-preemptive) execution.
+
+* **Rejection.**  A counter ``v_k`` is attached to the running job ``k``;
+  every job dispatched to the machine during ``k``'s execution adds its
+  *weight* to ``v_k``.  The first time ``v_k > w_k / epsilon`` the running job
+  is interrupted and rejected.  The total rejected weight is therefore at most
+  an ``epsilon`` fraction of the total weight.
+
+* **Dispatching.**  A new job ``j`` is sent to the machine minimising
+
+  .. math::
+
+      \\lambda_{ij} = w_j\\Big(\\frac{p_{ij}}{\\epsilon}
+            + \\sum_{\\ell \\preceq j} \\frac{p_{i\\ell}}{\\gamma W_\\ell^{1/\\alpha}}\\Big)
+            + \\Big(\\sum_{\\ell \\succ j} w_\\ell\\Big)
+              \\frac{p_{ij}}{\\gamma W_j^{1/\\alpha}}
+
+  where ``W_\\ell`` is the total weight of the pending jobs that do not
+  precede ``\\ell`` (the jobs that will still be pending when ``\\ell``
+  starts, i.e. the suffix of the density order including ``\\ell`` itself),
+  matching the speeds the scheduling policy will actually use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.bounds import energy_flow_gamma
+from repro.core.ordering import density_key
+from repro.core.rejection import RejectionLog, WeightedRunningJobCounter, check_epsilon
+from repro.exceptions import InvalidParameterError
+from repro.simulation.instance import Instance
+from repro.simulation.job import Job
+from repro.simulation.speed_engine import (
+    SpeedArrivalDecision,
+    SpeedRejection,
+    SpeedScalingPolicy,
+    StartDecision,
+)
+from repro.simulation.state import EngineState
+
+
+@dataclass(frozen=True, slots=True)
+class WeightedRejectionEvent:
+    """A weighted-rule rejection and the data the dual accounting needs."""
+
+    machine: int
+    time: float
+    job_id: int
+    remaining_time: float
+
+
+@dataclass
+class _TrackedWeightedCounter:
+    """A weighted rejection counter together with the job it belongs to."""
+
+    job_id: int
+    counter: WeightedRunningJobCounter
+
+
+class RejectionEnergyFlowScheduler(SpeedScalingPolicy):
+    """The Section 3 online algorithm (Theorem 2).
+
+    Parameters
+    ----------
+    epsilon:
+        Rejection parameter; the algorithm rejects at most an ``epsilon``
+        fraction of the total job weight.
+    gamma:
+        Speed-scaling constant.  ``None`` uses the value chosen in the
+        paper's proof (see :func:`repro.core.bounds.energy_flow_gamma`).
+    enable_rejection:
+        Ablation switch; with ``False`` the algorithm never rejects (used to
+        demonstrate why the rejection rule is needed).
+    """
+
+    def __init__(
+        self,
+        epsilon: float,
+        gamma: float | None = None,
+        enable_rejection: bool = True,
+    ) -> None:
+        self.epsilon = check_epsilon(epsilon)
+        self._gamma_override = gamma
+        self.enable_rejection = enable_rejection
+        self.name = f"rejection-flow+energy(eps={epsilon:g})"
+        self.reset_state()
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def reset_state(self) -> None:
+        """Clear all per-run bookkeeping."""
+        self._instance: Instance | None = None
+        self.alpha: float = 3.0
+        self.gamma: float = 1.0
+        self._counters: dict[int, _TrackedWeightedCounter] = {}
+        self.lambdas: dict[int, float] = {}
+        self.lambda_choices: dict[int, tuple[int, float]] = {}
+        self.rejection_events: list[WeightedRejectionEvent] = []
+        self.log = RejectionLog()
+
+    def reset(self, instance: Instance) -> None:
+        """Engine hook: prepare for a fresh simulation of ``instance``."""
+        alphas = {m.alpha for m in instance.machines}
+        if len(alphas) != 1:
+            raise InvalidParameterError(
+                "the Theorem 2 algorithm assumes a common power exponent alpha; "
+                f"got {sorted(alphas)}"
+            )
+        self.reset_state()
+        self._instance = instance
+        self.alpha = float(next(iter(alphas)))
+        if self.alpha <= 1:
+            raise InvalidParameterError(
+                f"the speed-scaling model requires alpha > 1, got {self.alpha}"
+            )
+        self.gamma = (
+            self._gamma_override
+            if self._gamma_override is not None
+            else energy_flow_gamma(self.epsilon, self.alpha)
+        )
+        if not (self.gamma > 0):
+            raise InvalidParameterError(f"gamma must be positive, got {self.gamma}")
+
+    # -- dispatching ---------------------------------------------------------------
+
+    def lambda_ij(self, job: Job, machine: int, state: EngineState) -> float:
+        """The marginal-increase surrogate ``lambda_ij`` of Section 3."""
+        p_ij = job.size_on(machine)
+        pending = state.pending_jobs(machine)
+        merged = sorted(pending + [job], key=lambda other: density_key(other, machine))
+
+        # Suffix weights: W_l = total weight of l and every job after it in
+        # the density order (the jobs that will still be pending when l starts).
+        suffix = [0.0] * (len(merged) + 1)
+        for idx in range(len(merged) - 1, -1, -1):
+            suffix[idx] = suffix[idx + 1] + merged[idx].weight
+
+        waiting = 0.0
+        succeeding_weight = 0.0
+        w_j_suffix = None
+        job_key = density_key(job, machine)
+        for idx, other in enumerate(merged):
+            if other.id == job.id:
+                w_j_suffix = suffix[idx]
+                waiting += other.size_on(machine) / (self.gamma * suffix[idx] ** (1.0 / self.alpha))
+                continue
+            if density_key(other, machine) <= job_key:
+                waiting += other.size_on(machine) / (self.gamma * suffix[idx] ** (1.0 / self.alpha))
+            else:
+                succeeding_weight += other.weight
+        assert w_j_suffix is not None
+        own_duration = p_ij / (self.gamma * w_j_suffix ** (1.0 / self.alpha))
+        return job.weight * (p_ij / self.epsilon + waiting) + succeeding_weight * own_duration
+
+    def on_arrival(self, t: float, job: Job, state: EngineState) -> SpeedArrivalDecision:
+        """Dispatch ``job`` to the machine minimising ``lambda_ij``; apply the weighted rule."""
+        best_machine: int | None = None
+        best_lambda = float("inf")
+        for machine in job.eligible_machines():
+            lam = self.lambda_ij(job, machine, state)
+            if lam < best_lambda:
+                best_machine, best_lambda = machine, lam
+        if best_machine is None:
+            raise InvalidParameterError(f"job {job.id} cannot run on any machine")
+
+        self.lambdas[job.id] = (self.epsilon / (1.0 + self.epsilon)) * best_lambda
+        self.lambda_choices[job.id] = (best_machine, best_lambda)
+
+        rejections: list[SpeedRejection] = []
+        running = state.running(best_machine)
+        if self.enable_rejection and running is not None:
+            tracked = self._counters.get(best_machine)
+            if tracked is not None and tracked.job_id == running.job.id:
+                if tracked.counter.record_dispatch(job.weight):
+                    rejections.append(SpeedRejection(running.job.id, reason="weighted-rule"))
+                    self.rejection_events.append(
+                        WeightedRejectionEvent(
+                            machine=best_machine,
+                            time=t,
+                            job_id=running.job.id,
+                            remaining_time=running.remaining_time(t),
+                        )
+                    )
+                    self.log.weighted.append(running.job.id)
+                    del self._counters[best_machine]
+
+        return SpeedArrivalDecision.dispatch(best_machine, rejections)
+
+    # -- local scheduling ----------------------------------------------------------
+
+    def select_next(self, t: float, machine: int, state: EngineState) -> StartDecision | None:
+        """Start the highest-density pending job at speed ``gamma * (total weight)^(1/alpha)``."""
+        pending = state.pending_jobs(machine)
+        if not pending:
+            return None
+        chosen = min(pending, key=lambda job: density_key(job, machine))
+        total_weight = sum(job.weight for job in pending)
+        speed = self.gamma * total_weight ** (1.0 / self.alpha)
+        if self.enable_rejection:
+            self._counters[machine] = _TrackedWeightedCounter(
+                job_id=chosen.id,
+                counter=WeightedRunningJobCounter(self.epsilon, chosen.weight),
+            )
+        return StartDecision(job_id=chosen.id, speed=speed)
+
+    # -- reporting -----------------------------------------------------------------
+
+    def diagnostics(self) -> dict:
+        """Per-run diagnostics for experiment reports."""
+        return {
+            "alpha": self.alpha,
+            "gamma": self.gamma,
+            "lambda_sum": sum(self.lambdas.values()),
+            **self.log.as_dict(),
+        }

@@ -1,0 +1,65 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the :mod:`repro` library."""
+
+
+class InvalidInstanceError(ReproError):
+    """An :class:`~repro.simulation.instance.Instance` violates a structural invariant.
+
+    Examples: a job whose size vector length differs from the number of
+    machines, a non-positive processing time, a deadline earlier than the
+    release date.
+    """
+
+
+class InvalidParameterError(ReproError):
+    """An algorithm or generator received a parameter outside its domain.
+
+    Examples: ``epsilon <= 0`` for the rejection-based schedulers, a power
+    exponent ``alpha <= 1`` for the speed-scaling model, an empty speed grid
+    for the energy-minimisation scheduler.
+    """
+
+
+class SimulationError(ReproError):
+    """The event-driven engine reached an inconsistent state.
+
+    This indicates a bug in a policy implementation (e.g. dispatching a job
+    to a machine index that does not exist, starting a job that is not
+    pending) rather than bad user input.
+    """
+
+
+class ScheduleValidationError(ReproError):
+    """A produced schedule violates the non-preemptive execution model.
+
+    Raised by :mod:`repro.simulation.validation` when a schedule overlaps two
+    jobs on one machine, executes a job before its release date, preempts a
+    completed job, or misses a deadline in the energy-minimisation setting.
+    """
+
+
+class InfeasibleInstanceError(ReproError):
+    """No feasible schedule exists for the given instance.
+
+    Used by the energy-minimisation scheduler (Section 4 of the paper) when a
+    job cannot be completed within its ``[release, deadline]`` window with the
+    available speed grid.
+    """
+
+
+class DualFeasibilityError(ReproError):
+    """A dual-fitting certificate violated a dual constraint.
+
+    The analysis of the paper (Lemma 4 and Lemma 6) guarantees feasibility of
+    the constructed dual solutions; this error signals a violation beyond
+    numerical tolerance, i.e. an implementation bug.
+    """

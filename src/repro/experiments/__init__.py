@@ -1,0 +1,28 @@
+"""The experiment suite (E1-E9).
+
+The paper proves guarantees instead of reporting measurements, so these
+experiments are the reproduction's counterpart of a systems paper's tables
+and figures: each one empirically verifies one theorem or lemma (see
+DESIGN.md section 3 for the index).  Every experiment module exposes
+
+* a ``*Config`` dataclass with the sweep parameters, and
+* ``run(config) -> ExperimentResult``,
+
+and the registry in :mod:`repro.experiments.registry` lets callers run them
+by id (``run_experiment("E1")``), which is what the benchmark harness and
+the examples do.
+"""
+
+from repro.experiments.registry import (
+    ExperimentResult,
+    run_experiment,
+    available_experiments,
+    EXPERIMENTS,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "run_experiment",
+    "available_experiments",
+    "EXPERIMENTS",
+]

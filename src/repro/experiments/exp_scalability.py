@@ -1,0 +1,85 @@
+"""E8 — scalability of the simulator and of the Theorem 1 algorithm.
+
+Measures wall-clock time and event throughput of the flow-time engine as the
+number of jobs and machines grows, for the Theorem 1 scheduler and the greedy
+baseline.  This is the reproduction's "systems" table: it documents the scale
+the rest of the experiments can afford and how the dispatching cost (which is
+``O(queue length)`` per arrival) behaves.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.analysis.reporting import ExperimentTable
+from repro.baselines.greedy import GreedyDispatchScheduler
+from repro.core.flow_time import RejectionFlowTimeScheduler
+from repro.experiments.registry import ExperimentResult
+from repro.simulation.engine import FlowTimeEngine
+from repro.workloads.generators import InstanceGenerator
+
+
+@dataclass
+class ScalabilityExperimentConfig:
+    """Sweep parameters of experiment E8."""
+
+    job_counts: tuple[int, ...] = (200, 1000, 4000)
+    machine_counts: tuple[int, ...] = (2, 8)
+    epsilon: float = 0.5
+    seed: int = 2018
+    repeats: int = 1
+
+
+COLUMNS = (
+    "num_jobs",
+    "num_machines",
+    "algorithm",
+    "wall_time_s",
+    "events",
+    "events_per_s",
+    "jobs_per_s",
+)
+
+
+def run(config: ScalabilityExperimentConfig) -> ExperimentResult:
+    """Run experiment E8 and return its result table."""
+    table = ExperimentTable(title="E8: simulator and algorithm scalability", columns=COLUMNS)
+    raw: dict = {"rows": []}
+
+    for num_machines in config.machine_counts:
+        for num_jobs in config.job_counts:
+            instance = InstanceGenerator(
+                num_machines=num_machines, seed=config.seed, size_distribution="exponential"
+            ).generate(num_jobs)
+            engine = FlowTimeEngine(instance)
+            for scheduler in (
+                RejectionFlowTimeScheduler(epsilon=config.epsilon),
+                GreedyDispatchScheduler(),
+            ):
+                best_time = float("inf")
+                events = 0
+                for _ in range(max(1, config.repeats)):
+                    start = time.perf_counter()
+                    result = engine.run(scheduler)
+                    elapsed = time.perf_counter() - start
+                    best_time = min(best_time, elapsed)
+                    events = result.extras.get("events", 0)
+                row = {
+                    "num_jobs": num_jobs,
+                    "num_machines": num_machines,
+                    "algorithm": scheduler.name,
+                    "wall_time_s": best_time,
+                    "events": events,
+                    "events_per_s": events / best_time if best_time > 0 else float("inf"),
+                    "jobs_per_s": num_jobs / best_time if best_time > 0 else float("inf"),
+                }
+                table.add_row(row)
+                raw["rows"].append(row)
+
+    return ExperimentResult(
+        experiment_id="E8",
+        title="Simulator scalability",
+        tables=[table],
+        raw=raw,
+    )

@@ -1,0 +1,98 @@
+"""Experiment registry: ids, descriptions and a uniform ``run_experiment`` entry point."""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.analysis.reporting import ExperimentTable, render_report
+from repro.exceptions import InvalidParameterError
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform result bundle returned by every experiment."""
+
+    experiment_id: str
+    title: str
+    tables: list[ExperimentTable] = field(default_factory=list)
+    raw: dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Render all tables of the experiment as one report string."""
+        return render_report(self.tables, header=f"# {self.experiment_id}: {self.title}")
+
+
+#: Experiment id -> (module path, config class name, one-line description).
+EXPERIMENTS: dict[str, tuple[str, str, str]] = {
+    "E1": (
+        "repro.experiments.exp_flow_time",
+        "FlowTimeExperimentConfig",
+        "Theorem 1: competitive ratio and rejection budget of the flow-time algorithm",
+    ),
+    "E2": (
+        "repro.experiments.exp_immediate_rejection",
+        "ImmediateRejectionExperimentConfig",
+        "Lemma 1: immediate rejection degrades like sqrt(Delta); Theorem 1 stays flat",
+    ),
+    "E3": (
+        "repro.experiments.exp_energy_flow",
+        "EnergyFlowExperimentConfig",
+        "Theorem 2: weighted flow time plus energy, rejected weight budget",
+    ),
+    "E4": (
+        "repro.experiments.exp_energy_min",
+        "EnergyMinExperimentConfig",
+        "Theorem 3: energy minimisation with deadlines vs alpha^alpha",
+    ),
+    "E5": (
+        "repro.experiments.exp_energy_lower_bound",
+        "EnergyLowerBoundExperimentConfig",
+        "Lemma 2: the adaptive adversary forces Omega((alpha/9)^alpha)",
+    ),
+    "E6": (
+        "repro.experiments.exp_speed_vs_rejection",
+        "SpeedVsRejectionExperimentConfig",
+        "Rejection only (Theorem 1) vs speed augmentation + rejection (ESA'16)",
+    ),
+    "E7": (
+        "repro.experiments.exp_dual_fitting",
+        "DualFittingExperimentConfig",
+        "Lemma 4 / Lemma 6: empirical dual feasibility and dual objective strength",
+    ),
+    "E8": (
+        "repro.experiments.exp_scalability",
+        "ScalabilityExperimentConfig",
+        "Simulator and algorithm scalability (events per second)",
+    ),
+    "E9": (
+        "repro.experiments.exp_ablation",
+        "AblationExperimentConfig",
+        "Ablation of the two rejection rules of the Theorem 1 algorithm",
+    ),
+}
+
+
+def available_experiments() -> dict[str, str]:
+    """Mapping of experiment id to its one-line description."""
+    return {exp_id: spec[2] for exp_id, spec in EXPERIMENTS.items()}
+
+
+def run_experiment(experiment_id: str, **config_overrides) -> ExperimentResult:
+    """Run an experiment by id with optional config overrides.
+
+    ``config_overrides`` are passed to the experiment's config dataclass, so
+    callers can scale sweeps up or down, e.g.
+    ``run_experiment("E1", epsilons=(0.25, 0.5), num_jobs=200)``.
+    """
+    spec = EXPERIMENTS.get(experiment_id.upper())
+    if spec is None:
+        raise InvalidParameterError(
+            f"unknown experiment {experiment_id!r}; available: {sorted(EXPERIMENTS)}"
+        )
+    module_path, config_name, _ = spec
+    module = importlib.import_module(module_path)
+    config_cls = getattr(module, config_name)
+    run: Callable = getattr(module, "run")
+    return run(config_cls(**config_overrides))

@@ -1,0 +1,92 @@
+"""Certified lower bounds for the speed-scaling objectives (Sections 3 and 4).
+
+All bounds follow from the convexity of the power function: processing volume
+``p`` at (possibly varying) speed costs at least what processing it at the
+best *constant* speed would, and simultaneous processing on one machine only
+increases the instantaneous power (superadditivity of ``s^alpha`` for
+``alpha > 1``), so summing per-job optima never over-counts.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import InvalidParameterError
+from repro.simulation.instance import Instance
+
+
+def single_job_flow_energy_optimum(volume: float, weight: float, alpha: float) -> float:
+    """Minimum of ``w * p/s + p * s^(alpha-1)`` over the speed ``s > 0``.
+
+    This is the cheapest possible "weighted flow plus energy" cost of a job
+    processed alone: flow at least ``p/s`` and energy exactly ``p * s^(alpha-1)``
+    at constant speed ``s``.  The optimum is attained at
+    ``s* = (w/(alpha-1))^(1/alpha)`` and equals
+    ``alpha * p * (w/(alpha-1))^((alpha-1)/alpha)``.
+    """
+    if volume <= 0:
+        raise InvalidParameterError(f"volume must be positive, got {volume}")
+    if weight <= 0:
+        raise InvalidParameterError(f"weight must be positive, got {weight}")
+    if alpha <= 1:
+        raise InvalidParameterError(f"alpha must exceed 1, got {alpha}")
+    return alpha * volume * (weight / (alpha - 1.0)) ** ((alpha - 1.0) / alpha)
+
+
+def per_job_flow_energy_lower_bound(instance: Instance) -> float:
+    """Lower bound on the optimal weighted flow time plus energy (Section 3).
+
+    Every job must pay at least its own single-job optimum on its best
+    machine; interference (waiting) and shared power only increase the cost.
+    """
+    total = 0.0
+    for job in instance.jobs:
+        best = math.inf
+        for machine in job.eligible_machines():
+            alpha = instance.machines[machine].alpha
+            best = min(
+                best,
+                single_job_flow_energy_optimum(job.size_on(machine), job.weight, alpha),
+            )
+        total += best
+    return total
+
+
+def per_job_deadline_energy_lower_bound(instance: Instance) -> float:
+    """Lower bound on the optimal energy with deadlines (Section 4).
+
+    A job of volume ``p`` finished within a window of length ``W`` at constant
+    speed needs speed at least ``p/W``, hence energy at least
+    ``p * (p/W)^(alpha-1)``.  Varying speeds cannot do better (convexity) and
+    simultaneous processing cannot share this cost away (superadditivity), so
+    the per-job optima sum to a certified bound.
+    """
+    total = 0.0
+    for job in instance.jobs:
+        if job.deadline is None:
+            raise InvalidParameterError(
+                f"job {job.id} has no deadline; the Section 4 bound requires one"
+            )
+        window = job.window()
+        best = math.inf
+        for machine in job.eligible_machines():
+            alpha = instance.machines[machine].alpha
+            p = job.size_on(machine)
+            best = min(best, p * (p / window) ** (alpha - 1.0))
+        total += best
+    return total
+
+
+def best_energy_lower_bound(instance: Instance) -> float:
+    """The strongest certified energy lower bound available for the instance.
+
+    Uses the per-job convexity bound always, and additionally the optimal
+    preemptive YDS schedule when the instance has a single machine (preemption
+    only helps, so YDS lower-bounds the non-preemptive optimum).
+    """
+    bounds = [per_job_deadline_energy_lower_bound(instance)]
+    if instance.num_machines == 1:
+        from repro.baselines.yds import yds_energy
+
+        bounds.append(yds_energy(instance))
+    return max(bounds)

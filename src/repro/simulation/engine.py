@@ -1,0 +1,339 @@
+"""Non-preemptive flow-time engine (unit-speed / fixed-speed machines).
+
+This is the execution model of Section 2 of the paper: jobs arrive online,
+are dispatched to a machine immediately, wait in the machine's queue, and run
+non-preemptively once started.  The only way to stop a started job is to
+*reject* it (Rejection Rule 1), which discards it.
+
+The engine is policy-driven.  A policy implements three hooks:
+
+``on_arrival(t, job, state)``
+    Called when a job is released.  Returns an :class:`ArrivalDecision`:
+    which machine to dispatch to (or reject the job immediately), plus an
+    optional list of other jobs to reject right now (pending or running).
+
+``select_next(t, machine, state)``
+    Called whenever a machine is idle and has pending jobs.  Returns the id
+    of the pending job to start, or ``None`` to leave the machine idle until
+    the next event (the paper's algorithms never idle deliberately).
+
+``reset(instance)``
+    Called once per run before any event, so stateful policies (counters)
+    can be reused across runs.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.exceptions import SimulationError
+from repro.simulation.events import Event, EventKind, EventQueue
+from repro.simulation.instance import Instance
+from repro.simulation.job import Job
+from repro.simulation.schedule import ExecutionInterval, JobRecord, SimulationResult
+from repro.simulation.state import EngineState, RunningInfo
+
+
+@dataclass(frozen=True, slots=True)
+class Rejection:
+    """A request by a policy to reject a specific job right now."""
+
+    job_id: int
+    reason: str = "policy"
+
+
+@dataclass(frozen=True, slots=True)
+class ArrivalDecision:
+    """Decision returned by ``on_arrival``.
+
+    Attributes
+    ----------
+    machine:
+        Index of the machine the arriving job is dispatched to, or ``None``
+        to reject the arriving job immediately (immediate-rejection baselines).
+    rejections:
+        Other jobs to reject at the arrival instant (pending or running jobs,
+        on any machine).  Used by the paper's Rule 1 / Rule 2.
+    """
+
+    machine: int | None
+    rejections: tuple[Rejection, ...] = ()
+
+    @staticmethod
+    def dispatch(machine: int, rejections: Sequence[Rejection] = ()) -> "ArrivalDecision":
+        """Dispatch the arriving job to ``machine`` with optional extra rejections."""
+        return ArrivalDecision(machine=machine, rejections=tuple(rejections))
+
+    @staticmethod
+    def reject(rejections: Sequence[Rejection] = ()) -> "ArrivalDecision":
+        """Reject the arriving job immediately."""
+        return ArrivalDecision(machine=None, rejections=tuple(rejections))
+
+
+class FlowTimePolicy(ABC):
+    """Interface implemented by online flow-time scheduling policies."""
+
+    #: Human-readable name used in result labels and reports.
+    name: str = "flow-time-policy"
+
+    def reset(self, instance: Instance) -> None:  # noqa: B027 - optional hook
+        """Prepare internal state for a new run (default: nothing)."""
+
+    @abstractmethod
+    def on_arrival(self, t: float, job: Job, state: EngineState) -> ArrivalDecision:
+        """Dispatch (or reject) the job released at time ``t``."""
+
+    @abstractmethod
+    def select_next(self, t: float, machine: int, state: EngineState) -> int | None:
+        """Pick the pending job to start on an idle machine (or ``None``)."""
+
+
+class FlowTimeEngine:
+    """Discrete-event simulator for non-preemptive flow-time scheduling."""
+
+    def __init__(self, instance: Instance) -> None:
+        self.instance = instance
+
+    # -- public API ----------------------------------------------------------------
+
+    def run(self, policy: FlowTimePolicy) -> SimulationResult:
+        """Simulate ``policy`` on the engine's instance and return the result."""
+        instance = self.instance
+        policy.reset(instance)
+
+        state = EngineState(instance)
+        queue = EventQueue()
+        for job in instance.jobs:
+            queue.push_arrival(job.release, job.id)
+
+        records: dict[int, JobRecord] = {}
+        intervals: list[ExecutionInterval] = []
+        dispatched_machine: dict[int, int] = {}
+        start_times: dict[int, float] = {}
+        event_count = 0
+
+        while queue:
+            event = queue.pop()
+            state.time = event.time
+            event_count += 1
+
+            if event.kind == EventKind.COMPLETION:
+                self._handle_completion(event, state, records, intervals, start_times)
+            else:
+                self._handle_arrival(
+                    event, policy, state, records, intervals, dispatched_machine, start_times
+                )
+
+            # After any event, idle machines with pending work may start a job.
+            self._start_idle_machines(event.time, policy, state, queue, start_times)
+
+        self._check_all_jobs_settled(instance, records)
+        return SimulationResult(
+            instance=instance,
+            records=records,
+            intervals=sorted(intervals, key=lambda iv: (iv.start, iv.machine)),
+            algorithm=policy.name,
+            extras={"events": event_count},
+        )
+
+    # -- event handlers ------------------------------------------------------------
+
+    def _handle_completion(
+        self,
+        event: Event,
+        state: EngineState,
+        records: dict[int, JobRecord],
+        intervals: list[ExecutionInterval],
+        start_times: dict[int, float],
+    ) -> None:
+        ms = state.machines[event.machine]
+        if ms.version != event.version or ms.running is None or ms.running.job.id != event.job_id:
+            return  # stale completion (the job was rejected while running)
+        info = ms.running
+        ms.running = None
+        ms.version += 1
+        intervals.append(
+            ExecutionInterval(
+                machine=event.machine,
+                job_id=event.job_id,
+                start=info.start,
+                end=event.time,
+                speed=info.speed,
+                completed=True,
+            )
+        )
+        job = info.job
+        records[job.id] = JobRecord(
+            job_id=job.id,
+            weight=job.weight,
+            release=job.release,
+            machine=event.machine,
+            start=info.start,
+            completion=event.time,
+            rejected=False,
+        )
+        start_times.pop(job.id, None)
+
+    def _handle_arrival(
+        self,
+        event: Event,
+        policy: FlowTimePolicy,
+        state: EngineState,
+        records: dict[int, JobRecord],
+        intervals: list[ExecutionInterval],
+        dispatched_machine: dict[int, int],
+        start_times: dict[int, float],
+    ) -> None:
+        job = state.job(event.job_id)
+        decision = policy.on_arrival(event.time, job, state)
+
+        if decision.machine is None:
+            records[job.id] = JobRecord(
+                job_id=job.id,
+                weight=job.weight,
+                release=job.release,
+                machine=None,
+                start=None,
+                completion=None,
+                rejected=True,
+                rejection_time=event.time,
+                rejection_reason="immediate",
+            )
+        else:
+            machine = decision.machine
+            if not (0 <= machine < state.num_machines):
+                raise SimulationError(
+                    f"policy {policy.name!r} dispatched job {job.id} to invalid machine {machine}"
+                )
+            if math.isinf(job.size_on(machine)):
+                raise SimulationError(
+                    f"policy {policy.name!r} dispatched job {job.id} to forbidden machine {machine}"
+                )
+            state.machines[machine].pending.append(job.id)
+            dispatched_machine[job.id] = machine
+
+        for rejection in decision.rejections:
+            self._apply_rejection(
+                event.time, rejection, state, records, intervals, dispatched_machine, start_times
+            )
+
+    def _apply_rejection(
+        self,
+        t: float,
+        rejection: Rejection,
+        state: EngineState,
+        records: dict[int, JobRecord],
+        intervals: list[ExecutionInterval],
+        dispatched_machine: dict[int, int],
+        start_times: dict[int, float],
+    ) -> None:
+        job_id = rejection.job_id
+        if job_id in records:
+            raise SimulationError(f"job {job_id} rejected after it already finished/was rejected")
+
+        # Case 1: the job is running somewhere -> interrupt it (Rule 1).
+        for ms in state.machines:
+            if ms.running is not None and ms.running.job.id == job_id:
+                info = ms.running
+                ms.running = None
+                ms.version += 1
+                if t > info.start:
+                    intervals.append(
+                        ExecutionInterval(
+                            machine=ms.index,
+                            job_id=job_id,
+                            start=info.start,
+                            end=t,
+                            speed=info.speed,
+                            completed=False,
+                        )
+                    )
+                records[job_id] = JobRecord(
+                    job_id=job_id,
+                    weight=info.job.weight,
+                    release=info.job.release,
+                    machine=ms.index,
+                    start=info.start,
+                    completion=None,
+                    rejected=True,
+                    rejection_time=t,
+                    rejection_reason=rejection.reason,
+                )
+                start_times.pop(job_id, None)
+                return
+
+        # Case 2: the job is pending on its dispatched machine.
+        machine = dispatched_machine.get(job_id)
+        if machine is None:
+            raise SimulationError(f"cannot reject job {job_id}: it was never dispatched")
+        ms = state.machines[machine]
+        if job_id not in ms.pending:
+            raise SimulationError(
+                f"cannot reject job {job_id}: not pending on machine {machine}"
+            )
+        ms.pending.remove(job_id)
+        job = state.job(job_id)
+        records[job_id] = JobRecord(
+            job_id=job_id,
+            weight=job.weight,
+            release=job.release,
+            machine=machine,
+            start=None,
+            completion=None,
+            rejected=True,
+            rejection_time=t,
+            rejection_reason=rejection.reason,
+        )
+
+    def _start_idle_machines(
+        self,
+        t: float,
+        policy: FlowTimePolicy,
+        state: EngineState,
+        queue: EventQueue,
+        start_times: dict[int, float],
+    ) -> None:
+        for ms in state.machines:
+            if ms.running is not None or not ms.pending:
+                continue
+            job_id = policy.select_next(t, ms.index, state)
+            if job_id is None:
+                continue
+            if job_id not in ms.pending:
+                raise SimulationError(
+                    f"policy {policy.name!r} started job {job_id} which is not pending "
+                    f"on machine {ms.index}"
+                )
+            job = state.job(job_id)
+            machine_spec = self.instance.machines[ms.index]
+            duration = machine_spec.processing_duration(job.size_on(ms.index))
+            if not math.isfinite(duration):
+                raise SimulationError(
+                    f"job {job_id} has infinite processing time on machine {ms.index}"
+                )
+            ms.pending.remove(job_id)
+            ms.running = RunningInfo(
+                job=job, start=t, finish=t + duration, speed=machine_spec.speed_factor
+            )
+            start_times[job_id] = t
+            queue.push_completion(t + duration, job_id, ms.index, ms.version)
+
+    @staticmethod
+    def _check_all_jobs_settled(instance: Instance, records: dict[int, JobRecord]) -> None:
+        # A policy that leaves a machine idle forever while jobs are pending
+        # (select_next returning None with no future events) would starve
+        # them; the engine requires every job to finish or be rejected so
+        # that flow times are well defined.
+        missing = [job.id for job in instance.jobs if job.id not in records]
+        if missing:
+            raise SimulationError(
+                f"{len(missing)} job(s) never finished nor were rejected: {missing[:5]}"
+            )
+
+
+def run_policy(instance: Instance, policy: FlowTimePolicy) -> SimulationResult:
+    """Convenience wrapper: simulate ``policy`` on ``instance``."""
+    return FlowTimeEngine(instance).run(policy)

@@ -1,0 +1,92 @@
+"""Machine model.
+
+Machines are *unrelated*: the relation between machines and jobs is carried
+entirely by the per-job size vectors (:class:`~repro.simulation.job.Job.sizes`).
+A :class:`Machine` therefore only holds the attributes the execution model
+needs beyond that matrix:
+
+* ``speed_factor`` — a resource-augmentation speed multiplier.  The paper's
+  algorithms run with factor 1; the speed-augmentation baseline of [5] runs
+  with factor ``1 + epsilon_s``.
+* ``alpha`` — the exponent of the power function ``P(s) = s**alpha`` in the
+  speed-scaling models (Sections 3 and 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.exceptions import InvalidInstanceError
+
+
+@dataclass(frozen=True, slots=True)
+class Machine:
+    """Specification of a single machine.
+
+    Parameters
+    ----------
+    id:
+        Index of the machine inside its instance.
+    speed_factor:
+        Multiplicative speed augmentation; processing a job of size ``p`` at
+        unit nominal speed takes ``p / speed_factor`` time.  Must be positive.
+    alpha:
+        Power-function exponent for the speed-scaling model; must be > 1 when
+        energy is part of the objective.  Kept at the conventional default 3
+        (cube-root rule) otherwise unused.
+    """
+
+    id: int
+    speed_factor: float = 1.0
+    alpha: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.id < 0:
+            raise InvalidInstanceError(f"machine id must be non-negative, got {self.id}")
+        if not (self.speed_factor > 0):
+            raise InvalidInstanceError(
+                f"machine {self.id}: speed_factor must be positive, got {self.speed_factor}"
+            )
+        if not (self.alpha >= 1):
+            raise InvalidInstanceError(
+                f"machine {self.id}: alpha must be >= 1, got {self.alpha}"
+            )
+
+    def power(self, speed: float) -> float:
+        """Instantaneous power ``P(s) = s**alpha`` at the given speed."""
+        if speed < 0:
+            raise InvalidInstanceError(f"speed must be non-negative, got {speed}")
+        return speed**self.alpha
+
+    def processing_duration(self, size: float, speed: float | None = None) -> float:
+        """Wall-clock time to run a job of the given size.
+
+        ``speed`` overrides the machine's nominal (augmented) speed; when it
+        is ``None`` the duration is ``size / speed_factor`` which is the
+        unit-speed model used in Section 2.
+        """
+        s = self.speed_factor if speed is None else speed
+        if not (s > 0):
+            raise InvalidInstanceError(f"speed must be positive, got {s}")
+        return size / s
+
+    def to_dict(self) -> dict:
+        """Plain-dict representation (JSON-serialisable)."""
+        return {"id": self.id, "speed_factor": self.speed_factor, "alpha": self.alpha}
+
+    @staticmethod
+    def from_dict(data: Mapping) -> "Machine":
+        """Inverse of :meth:`to_dict`."""
+        return Machine(
+            id=int(data["id"]),
+            speed_factor=float(data.get("speed_factor", 1.0)),
+            alpha=float(data.get("alpha", 3.0)),
+        )
+
+    @staticmethod
+    def fleet(count: int, speed_factor: float = 1.0, alpha: float = 3.0) -> tuple["Machine", ...]:
+        """Create ``count`` machines sharing the same speed factor and alpha."""
+        if count <= 0:
+            raise InvalidInstanceError(f"machine count must be positive, got {count}")
+        return tuple(Machine(i, speed_factor, alpha) for i in range(count))

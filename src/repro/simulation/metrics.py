@@ -1,0 +1,165 @@
+"""Objective-value computation over :class:`~repro.simulation.schedule.SimulationResult`.
+
+All metrics follow the paper's accounting conventions:
+
+* the flow time of a rejected job is the time between its release and the
+  moment the algorithm decides to reject it;
+* energy includes the energy spent on partially executed (rejected) jobs;
+* the rejection budget of Theorem 1 is measured in *number of jobs*, the one
+  of Theorem 2 in *total weight*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.simulation.schedule import SimulationResult
+
+
+def total_flow_time(result: SimulationResult, include_rejected: bool = True) -> float:
+    """Sum of flow times over all jobs (optionally excluding rejected ones)."""
+    total = 0.0
+    for record in result.records.values():
+        if record.rejected and not include_rejected:
+            continue
+        total += record.flow_time
+    return total
+
+
+def total_weighted_flow_time(result: SimulationResult, include_rejected: bool = True) -> float:
+    """Sum of ``w_j * F_j`` over all jobs (optionally excluding rejected ones)."""
+    total = 0.0
+    for record in result.records.values():
+        if record.rejected and not include_rejected:
+            continue
+        total += record.weighted_flow_time
+    return total
+
+
+def total_energy(result: SimulationResult) -> float:
+    """Total energy ``sum_i integral P_i(s_i(t)) dt`` of the schedule.
+
+    Computed from the execution intervals using each machine's power exponent;
+    includes energy spent on jobs that were later rejected while running.
+    """
+    instance = result.instance
+    return sum(iv.energy(instance.machines[iv.machine].alpha) for iv in result.intervals)
+
+
+def flow_plus_energy(result: SimulationResult, include_rejected: bool = True) -> float:
+    """Weighted flow time plus energy (the Section 3 objective)."""
+    return total_weighted_flow_time(result, include_rejected) + total_energy(result)
+
+
+def rejected_count(result: SimulationResult) -> int:
+    """Number of rejected jobs."""
+    return sum(1 for record in result.records.values() if record.rejected)
+
+
+def rejected_fraction(result: SimulationResult) -> float:
+    """Fraction of jobs rejected (Theorem 1 budget)."""
+    n = len(result.records)
+    if n == 0:
+        return 0.0
+    return rejected_count(result) / n
+
+
+def rejected_weight(result: SimulationResult) -> float:
+    """Total weight of rejected jobs."""
+    return sum(record.weight for record in result.records.values() if record.rejected)
+
+
+def rejected_weight_fraction(result: SimulationResult) -> float:
+    """Fraction of total weight rejected (Theorem 2 budget)."""
+    total = sum(record.weight for record in result.records.values())
+    if total == 0:
+        return 0.0
+    return rejected_weight(result) / total
+
+
+def max_flow_time(result: SimulationResult, include_rejected: bool = True) -> float:
+    """Maximum flow time over the (optionally non-rejected) jobs."""
+    flows = [
+        record.flow_time
+        for record in result.records.values()
+        if include_rejected or not record.rejected
+    ]
+    return max(flows, default=0.0)
+
+
+def mean_stretch(result: SimulationResult) -> float:
+    """Mean of flow time divided by the job's best processing time (completed jobs)."""
+    instance = result.instance
+    jobs = {job.id: job for job in instance.jobs}
+    stretches = []
+    for record in result.completed_records():
+        best = jobs[record.job_id].min_size()
+        if best > 0:
+            stretches.append(record.flow_time / best)
+    if not stretches:
+        return 0.0
+    return sum(stretches) / len(stretches)
+
+
+def machine_utilisation(result: SimulationResult) -> list[float]:
+    """Busy-time fraction of each machine over the schedule's makespan."""
+    makespan = result.makespan()
+    if makespan <= 0:
+        return [0.0] * result.instance.num_machines
+    return [
+        result.machine_busy_time(i) / makespan for i in range(result.instance.num_machines)
+    ]
+
+
+@dataclass(frozen=True)
+class ResultSummary:
+    """A flat bundle of the metrics used throughout the experiment reports."""
+
+    algorithm: str
+    num_jobs: int
+    num_machines: int
+    total_flow_time: float
+    total_weighted_flow_time: float
+    total_energy: float
+    flow_plus_energy: float
+    rejected_count: int
+    rejected_fraction: float
+    rejected_weight_fraction: float
+    max_flow_time: float
+    makespan: float
+
+    def as_dict(self) -> dict:
+        """Plain-dict view (stable key order for reporting)."""
+        return {
+            "algorithm": self.algorithm,
+            "num_jobs": self.num_jobs,
+            "num_machines": self.num_machines,
+            "total_flow_time": self.total_flow_time,
+            "total_weighted_flow_time": self.total_weighted_flow_time,
+            "total_energy": self.total_energy,
+            "flow_plus_energy": self.flow_plus_energy,
+            "rejected_count": self.rejected_count,
+            "rejected_fraction": self.rejected_fraction,
+            "rejected_weight_fraction": self.rejected_weight_fraction,
+            "max_flow_time": self.max_flow_time,
+            "makespan": self.makespan,
+        }
+
+
+def summarize(result: SimulationResult) -> ResultSummary:
+    """Compute every standard metric of a simulation result at once."""
+    return ResultSummary(
+        algorithm=result.algorithm,
+        num_jobs=len(result.records),
+        num_machines=result.instance.num_machines,
+        total_flow_time=total_flow_time(result),
+        total_weighted_flow_time=total_weighted_flow_time(result),
+        total_energy=total_energy(result),
+        flow_plus_energy=flow_plus_energy(result),
+        rejected_count=rejected_count(result),
+        rejected_fraction=rejected_fraction(result),
+        rejected_weight_fraction=rejected_weight_fraction(result),
+        max_flow_time=max_flow_time(result),
+        makespan=result.makespan(),
+    )

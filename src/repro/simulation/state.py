@@ -1,0 +1,125 @@
+"""Read-only runtime state exposed to scheduling policies.
+
+The engines own all mutation; policies observe the state through
+:class:`EngineState` and return decisions.  This keeps the paper's algorithms,
+the baselines and the ablations side-effect free with respect to the engine's
+bookkeeping, which in turn makes the validators meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.exceptions import SimulationError
+from repro.simulation.instance import Instance
+from repro.simulation.job import Job
+
+
+@dataclass
+class RunningInfo:
+    """Information about the job currently executing on a machine."""
+
+    job: Job
+    start: float
+    finish: float
+    speed: float
+
+    def remaining_time(self, t: float) -> float:
+        """Wall-clock time still needed after time ``t`` (0 if already done)."""
+        return max(0.0, self.finish - t)
+
+    def remaining_work(self, t: float) -> float:
+        """Remaining processing volume after time ``t`` (q_ik(t) in the paper)."""
+        return self.remaining_time(t) * self.speed
+
+    def elapsed(self, t: float) -> float:
+        """Time the job has already been running at time ``t``."""
+        return max(0.0, min(t, self.finish) - self.start)
+
+
+@dataclass
+class MachineState:
+    """Mutable per-machine runtime state (owned by the engine)."""
+
+    index: int
+    pending: list[int] = field(default_factory=list)
+    running: RunningInfo | None = None
+    version: int = 0
+
+    def is_idle(self) -> bool:
+        """``True`` when no job is executing on the machine."""
+        return self.running is None
+
+
+class EngineState:
+    """Snapshot view of the simulation handed to policies.
+
+    Policies may call the read accessors freely; they must not mutate the
+    underlying lists (the engine treats any such mutation as a bug).
+    """
+
+    def __init__(self, instance: Instance) -> None:
+        self.instance = instance
+        self.time: float = 0.0
+        self._jobs: dict[int, Job] = {job.id: job for job in instance.jobs}
+        self.machines: list[MachineState] = [
+            MachineState(index=i) for i in range(instance.num_machines)
+        ]
+
+    # -- job / machine accessors ---------------------------------------------------
+
+    @property
+    def num_machines(self) -> int:
+        """Number of machines in the instance."""
+        return len(self.machines)
+
+    def job(self, job_id: int) -> Job:
+        """Look up a job by id."""
+        try:
+            return self._jobs[job_id]
+        except KeyError as exc:
+            raise SimulationError(f"unknown job id {job_id}") from exc
+
+    def pending_ids(self, machine: int) -> tuple[int, ...]:
+        """Ids of jobs dispatched to ``machine`` that are waiting (not running)."""
+        return tuple(self._machine(machine).pending)
+
+    def pending_jobs(self, machine: int) -> list[Job]:
+        """Waiting jobs of ``machine`` in dispatch order."""
+        return [self._jobs[j] for j in self._machine(machine).pending]
+
+    def running(self, machine: int) -> RunningInfo | None:
+        """Info on the job currently executing on ``machine`` (``None`` if idle)."""
+        return self._machine(machine).running
+
+    def is_idle(self, machine: int) -> bool:
+        """``True`` when ``machine`` executes nothing."""
+        return self._machine(machine).is_idle()
+
+    def queue_size(self, machine: int) -> int:
+        """Number of pending (waiting) jobs on ``machine``."""
+        return len(self._machine(machine).pending)
+
+    def pending_total_size(self, machine: int) -> float:
+        """Total processing time of waiting jobs on ``machine`` (their size there)."""
+        return sum(self._jobs[j].size_on(machine) for j in self._machine(machine).pending)
+
+    def pending_total_weight(self, machine: int) -> float:
+        """Total weight of waiting jobs on ``machine``."""
+        return sum(self._jobs[j].weight for j in self._machine(machine).pending)
+
+    def all_pending(self) -> Iterable[tuple[int, int]]:
+        """Yield ``(machine, job_id)`` pairs for every waiting job."""
+        for ms in self.machines:
+            for job_id in ms.pending:
+                yield ms.index, job_id
+
+    # -- internal ------------------------------------------------------------------
+
+    def _machine(self, machine: int) -> MachineState:
+        if not (0 <= machine < len(self.machines)):
+            raise SimulationError(
+                f"machine index {machine} out of range [0, {len(self.machines)})"
+            )
+        return self.machines[machine]

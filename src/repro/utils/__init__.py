@@ -1,0 +1,24 @@
+"""Shared utilities: deterministic RNG handling, numeric helpers, tabulation."""
+
+from repro.utils.rng import make_rng, spawn_rngs
+from repro.utils.numeric import (
+    EPS,
+    is_close,
+    ceil_div,
+    integer_threshold,
+    harmonic_mean,
+    safe_ratio,
+)
+from repro.utils.tabulate import format_table
+
+__all__ = [
+    "make_rng",
+    "spawn_rngs",
+    "EPS",
+    "is_close",
+    "ceil_div",
+    "integer_threshold",
+    "harmonic_mean",
+    "safe_ratio",
+    "format_table",
+]

@@ -1,0 +1,89 @@
+"""Arrival-time processes for synthetic workloads.
+
+Each function returns a sorted list of ``count`` non-negative release times.
+The processes cover the regimes that matter for online flow-time scheduling:
+smooth Poisson traffic, bursty on/off traffic (the hard case for
+non-preemptive scheduling), batched releases (the Lemma 1 flavour) and
+deterministic equally spaced arrivals (for reproducible unit tests).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.utils.rng import make_rng
+
+
+def _check_count(count: int) -> None:
+    if count < 0:
+        raise InvalidParameterError(f"count must be non-negative, got {count}")
+
+
+def poisson_arrivals(count: int, rate: float, seed=None) -> list[float]:
+    """``count`` arrivals of a Poisson process with the given rate (jobs per time unit)."""
+    _check_count(count)
+    if rate <= 0:
+        raise InvalidParameterError(f"rate must be positive, got {rate}")
+    rng = make_rng(seed)
+    gaps = rng.exponential(1.0 / rate, size=count)
+    return list(np.cumsum(gaps))
+
+
+def bursty_arrivals(
+    count: int,
+    rate_on: float,
+    rate_off: float,
+    burst_length: int = 20,
+    seed=None,
+) -> list[float]:
+    """On/off arrivals: bursts of ``burst_length`` jobs at ``rate_on``, gaps at ``rate_off``.
+
+    ``rate_off`` is the rate governing the single long gap between bursts, so
+    smaller values produce longer quiet periods.
+    """
+    _check_count(count)
+    if rate_on <= 0 or rate_off <= 0:
+        raise InvalidParameterError("rates must be positive")
+    if burst_length <= 0:
+        raise InvalidParameterError("burst_length must be positive")
+    rng = make_rng(seed)
+    times: list[float] = []
+    t = 0.0
+    produced = 0
+    while produced < count:
+        in_burst = min(burst_length, count - produced)
+        gaps = rng.exponential(1.0 / rate_on, size=in_burst)
+        for gap in gaps:
+            t += float(gap)
+            times.append(t)
+        produced += in_burst
+        t += float(rng.exponential(1.0 / rate_off))
+    return times
+
+
+def batched_arrivals(
+    count: int, batch_size: int, batch_gap: float, jitter: float = 0.0, seed=None
+) -> list[float]:
+    """Jobs released in batches of ``batch_size`` separated by ``batch_gap`` time units."""
+    _check_count(count)
+    if batch_size <= 0:
+        raise InvalidParameterError(f"batch_size must be positive, got {batch_size}")
+    if batch_gap < 0 or jitter < 0:
+        raise InvalidParameterError("batch_gap and jitter must be non-negative")
+    rng = make_rng(seed)
+    times = []
+    for index in range(count):
+        batch = index // batch_size
+        base = batch * batch_gap
+        offset = float(rng.uniform(0, jitter)) if jitter > 0 else 0.0
+        times.append(base + offset)
+    return sorted(times)
+
+
+def deterministic_arrivals(count: int, gap: float, start: float = 0.0) -> list[float]:
+    """Equally spaced arrivals ``start, start+gap, start+2*gap, ...``."""
+    _check_count(count)
+    if gap < 0:
+        raise InvalidParameterError(f"gap must be non-negative, got {gap}")
+    return [start + k * gap for k in range(count)]

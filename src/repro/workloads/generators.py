@@ -1,0 +1,215 @@
+"""Instance generators assembling arrivals, sizes and machine models.
+
+Three generators cover the three problems of the paper:
+
+* :class:`InstanceGenerator` — unweighted flow-time instances (Section 2);
+* :class:`WeightedInstanceGenerator` — weighted instances for the flow-time
+  plus energy problem (Section 3);
+* :class:`DeadlineInstanceGenerator` — instances with deadlines for the
+  energy-minimisation problem (Section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.simulation.instance import Instance
+from repro.simulation.job import Job
+from repro.simulation.machine import Machine
+from repro.utils.rng import make_rng
+from repro.workloads import arrival_processes, machine_models, processing_times
+
+
+_ARRIVALS = ("poisson", "bursty", "batched", "deterministic")
+_SIZES = ("uniform", "exponential", "pareto", "bimodal")
+_MACHINE_MODELS = ("identical", "related", "unrelated", "restricted")
+
+
+@dataclass
+class InstanceGenerator:
+    """Random unrelated-machine flow-time instances (Section 2 workloads).
+
+    Parameters
+    ----------
+    num_machines:
+        Size of the machine fleet.
+    arrival_process / arrival_rate:
+        Arrival model; the rate is jobs per time unit (``poisson``/``bursty``)
+        or the batch gap (``batched``: ``1/arrival_rate`` per batch of
+        ``batch_size``).
+    size_distribution:
+        ``uniform``, ``exponential``, ``pareto`` (heavy tail) or ``bimodal``.
+    machine_model:
+        ``identical``, ``related``, ``unrelated`` or ``restricted``.
+    load:
+        Target average system load (total work rate divided by number of
+        machines); the base sizes are rescaled to hit it, which keeps
+        different configurations comparable.
+    """
+
+    num_machines: int = 4
+    arrival_process: str = "poisson"
+    arrival_rate: float = 1.0
+    batch_size: int = 10
+    size_distribution: str = "pareto"
+    size_params: dict | None = None
+    machine_model: str = "unrelated"
+    machine_correlation: float = 0.5
+    load: float | None = 0.8
+    alpha: float = 3.0
+    seed: int | None = None
+    name: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_machines <= 0:
+            raise InvalidParameterError("num_machines must be positive")
+        if self.arrival_process not in _ARRIVALS:
+            raise InvalidParameterError(f"unknown arrival process {self.arrival_process!r}")
+        if self.size_distribution not in _SIZES:
+            raise InvalidParameterError(f"unknown size distribution {self.size_distribution!r}")
+        if self.machine_model not in _MACHINE_MODELS:
+            raise InvalidParameterError(f"unknown machine model {self.machine_model!r}")
+
+    # -- pieces --------------------------------------------------------------------
+
+    def _arrivals(self, count: int, rng) -> list[float]:
+        if self.arrival_process == "poisson":
+            return arrival_processes.poisson_arrivals(count, self.arrival_rate, seed=rng)
+        if self.arrival_process == "bursty":
+            return arrival_processes.bursty_arrivals(
+                count, rate_on=self.arrival_rate * 10, rate_off=self.arrival_rate / 4, seed=rng
+            )
+        if self.arrival_process == "batched":
+            return arrival_processes.batched_arrivals(
+                count, batch_size=self.batch_size, batch_gap=1.0 / self.arrival_rate, seed=rng
+            )
+        return arrival_processes.deterministic_arrivals(count, gap=1.0 / self.arrival_rate)
+
+    def _base_sizes(self, count: int, rng) -> list[float]:
+        params = dict(self.size_params or {})
+        if self.size_distribution == "uniform":
+            return processing_times.uniform_sizes(count, seed=rng, **params)
+        if self.size_distribution == "exponential":
+            return processing_times.exponential_sizes(count, seed=rng, **params)
+        if self.size_distribution == "pareto":
+            params.setdefault("shape", 1.5)
+            params.setdefault("high", 100.0)
+            return processing_times.bounded_pareto_sizes(count, seed=rng, **params)
+        return processing_times.bimodal_sizes(count, seed=rng, **params)
+
+    def _size_matrix(self, base_sizes: list[float], rng) -> list[tuple[float, ...]]:
+        if self.machine_model == "identical":
+            return machine_models.identical_matrix(base_sizes, self.num_machines)
+        if self.machine_model == "related":
+            return machine_models.uniform_related_matrix(
+                base_sizes, self.num_machines, seed=rng
+            )
+        if self.machine_model == "unrelated":
+            return machine_models.unrelated_matrix(
+                base_sizes, self.num_machines, correlation=self.machine_correlation, seed=rng
+            )
+        return machine_models.restricted_assignment_matrix(
+            base_sizes, self.num_machines, seed=rng
+        )
+
+    def _rescale_for_load(self, base_sizes: list[float]) -> list[float]:
+        if self.load is None or not base_sizes:
+            return base_sizes
+        mean_size = float(np.mean(base_sizes))
+        # arrival_rate jobs/time * mean_size work/job spread over m machines.
+        current_load = self.arrival_rate * mean_size / self.num_machines
+        if current_load <= 0:
+            return base_sizes
+        factor = self.load / current_load
+        return [p * factor for p in base_sizes]
+
+    # -- public API ----------------------------------------------------------------
+
+    def machines(self) -> tuple[Machine, ...]:
+        """The machine fleet used by generated instances."""
+        return Machine.fleet(self.num_machines, alpha=self.alpha)
+
+    def generate(self, num_jobs: int) -> Instance:
+        """Generate an instance with ``num_jobs`` jobs."""
+        if num_jobs < 0:
+            raise InvalidParameterError(f"num_jobs must be non-negative, got {num_jobs}")
+        rng = make_rng(self.seed)
+        arrivals = self._arrivals(num_jobs, rng)
+        base_sizes = self._rescale_for_load(self._base_sizes(num_jobs, rng))
+        matrix = self._size_matrix(base_sizes, rng)
+        jobs = [
+            Job(id=j, release=float(arrivals[j]), sizes=matrix[j]) for j in range(num_jobs)
+        ]
+        label = self.name or (
+            f"{self.size_distribution}-{self.arrival_process}-{self.machine_model}"
+            f"(m={self.num_machines},n={num_jobs})"
+        )
+        return Instance.build(self.machines(), jobs, name=label)
+
+
+@dataclass
+class WeightedInstanceGenerator(InstanceGenerator):
+    """Weighted instances for the Section 3 objective (flow time plus energy).
+
+    Weights are drawn uniformly from ``[weight_low, weight_high]``.
+    """
+
+    weight_low: float = 0.5
+    weight_high: float = 4.0
+    alpha: float = 2.5
+
+    def generate(self, num_jobs: int) -> Instance:
+        """Generate a weighted instance with ``num_jobs`` jobs."""
+        base = super().generate(num_jobs)
+        rng = make_rng(None if self.seed is None else self.seed + 1)
+        if not (0 < self.weight_low <= self.weight_high):
+            raise InvalidParameterError("need 0 < weight_low <= weight_high")
+        jobs = [
+            Job(
+                id=job.id,
+                release=job.release,
+                sizes=job.sizes,
+                weight=float(rng.uniform(self.weight_low, self.weight_high)),
+            )
+            for job in base.jobs
+        ]
+        return Instance.build(self.machines(), jobs, name=base.name + "+weights")
+
+
+@dataclass
+class DeadlineInstanceGenerator(InstanceGenerator):
+    """Instances with deadlines for the Section 4 energy-minimisation problem.
+
+    Each job's window length is ``slack`` times the time it would take to run
+    the job at unit speed on its best machine (plus jitter), so ``slack``
+    directly controls how much speed flexibility the scheduler has.
+    """
+
+    slack: float = 4.0
+    slack_jitter: float = 0.5
+    alpha: float = 2.0
+    size_distribution: str = "uniform"
+
+    def generate(self, num_jobs: int) -> Instance:
+        """Generate a deadline instance with ``num_jobs`` jobs."""
+        if self.slack <= 1:
+            raise InvalidParameterError(f"slack must exceed 1, got {self.slack}")
+        base = super().generate(num_jobs)
+        rng = make_rng(None if self.seed is None else self.seed + 2)
+        jobs = []
+        for job in base.jobs:
+            jitter = float(rng.uniform(1.0 - self.slack_jitter, 1.0 + self.slack_jitter))
+            window = max(1e-6, self.slack * jitter * job.min_size())
+            jobs.append(
+                Job(
+                    id=job.id,
+                    release=job.release,
+                    sizes=job.sizes,
+                    weight=job.weight,
+                    deadline=job.release + window,
+                )
+            )
+        return Instance.build(self.machines(), jobs, name=base.name + "+deadlines")

@@ -1,0 +1,75 @@
+"""Processing-time (volume) distributions for synthetic workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.utils.rng import make_rng
+
+
+def _check(count: int) -> None:
+    if count < 0:
+        raise InvalidParameterError(f"count must be non-negative, got {count}")
+
+
+def uniform_sizes(count: int, low: float = 1.0, high: float = 10.0, seed=None) -> list[float]:
+    """Sizes drawn uniformly from ``[low, high]``."""
+    _check(count)
+    if low <= 0 or high < low:
+        raise InvalidParameterError(f"need 0 < low <= high, got [{low}, {high}]")
+    rng = make_rng(seed)
+    return [float(x) for x in rng.uniform(low, high, size=count)]
+
+
+def exponential_sizes(count: int, mean: float = 5.0, minimum: float = 0.1, seed=None) -> list[float]:
+    """Exponentially distributed sizes with the given mean, clipped below at ``minimum``."""
+    _check(count)
+    if mean <= 0 or minimum <= 0:
+        raise InvalidParameterError("mean and minimum must be positive")
+    rng = make_rng(seed)
+    return [float(max(minimum, x)) for x in rng.exponential(mean, size=count)]
+
+
+def bounded_pareto_sizes(
+    count: int,
+    shape: float = 1.5,
+    low: float = 1.0,
+    high: float = 1000.0,
+    seed=None,
+) -> list[float]:
+    """Bounded-Pareto sizes — the classic heavy-tailed workload of systems papers.
+
+    Heavy tails are the regime where non-preemptive scheduling is hardest
+    (short jobs stuck behind long ones), i.e. where the paper's rejection
+    rules matter most.
+    """
+    _check(count)
+    if shape <= 0:
+        raise InvalidParameterError(f"shape must be positive, got {shape}")
+    if low <= 0 or high <= low:
+        raise InvalidParameterError(f"need 0 < low < high, got [{low}, {high}]")
+    rng = make_rng(seed)
+    u = rng.uniform(0.0, 1.0, size=count)
+    l_a = low**shape
+    h_a = high**shape
+    values = (-(u * h_a - u * l_a - h_a) / (h_a * l_a)) ** (-1.0 / shape)
+    return [float(v) for v in values]
+
+
+def bimodal_sizes(
+    count: int,
+    short: float = 1.0,
+    long: float = 50.0,
+    long_fraction: float = 0.1,
+    seed=None,
+) -> list[float]:
+    """Mixture of short and long jobs (the Lemma 1 flavour of heterogeneity)."""
+    _check(count)
+    if short <= 0 or long <= 0:
+        raise InvalidParameterError("sizes must be positive")
+    if not (0 <= long_fraction <= 1):
+        raise InvalidParameterError(f"long_fraction must be in [0, 1], got {long_fraction}")
+    rng = make_rng(seed)
+    draws = rng.uniform(0.0, 1.0, size=count)
+    return [float(long if d < long_fraction else short) for d in draws]

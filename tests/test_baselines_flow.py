@@ -1,0 +1,139 @@
+"""Tests for the online flow-time baselines (greedy, FCFS, immediate rejection, speed aug.)."""
+
+import math
+
+import pytest
+
+from repro.baselines.fcfs import FCFSScheduler
+from repro.baselines.greedy import GreedyDispatchScheduler
+from repro.baselines.immediate_rejection import ImmediateRejectionScheduler
+from repro.baselines.speed_augmentation import (
+    SpeedAugmentedScheduler,
+    run_with_speed_augmentation,
+)
+from repro.exceptions import InvalidParameterError
+from repro.simulation.engine import FlowTimeEngine
+from repro.simulation.instance import Instance
+from repro.simulation.job import Job
+from repro.simulation.metrics import rejected_fraction, total_flow_time
+from repro.simulation.validation import validate_result
+from repro.workloads.adversarial import lemma1_instance
+
+
+class TestGreedyDispatch:
+    def test_never_rejects(self, random_instance):
+        result = FlowTimeEngine(random_instance).run(GreedyDispatchScheduler())
+        assert rejected_fraction(result) == 0.0
+        validate_result(result)
+
+    def test_prefers_cheaper_machine(self):
+        instance = Instance.build(2, [Job(0, 0.0, (10.0, 1.0))])
+        result = FlowTimeEngine(instance).run(GreedyDispatchScheduler())
+        assert result.record(0).machine == 1
+
+    def test_spt_beats_fcfs_local_order(self):
+        # Three jobs queue up behind a running job; SPT clears the short ones
+        # first while FCFS serves the long one first.
+        jobs = [
+            Job(0, 0.0, (8.0,)),
+            Job(1, 0.5, (5.0,)),
+            Job(2, 0.6, (1.0,)),
+            Job(3, 0.7, (1.0,)),
+        ]
+        instance = Instance.build(1, jobs)
+        spt = total_flow_time(FlowTimeEngine(instance).run(GreedyDispatchScheduler("spt")))
+        fcfs = total_flow_time(FlowTimeEngine(instance).run(GreedyDispatchScheduler("fcfs")))
+        assert spt < fcfs
+
+    def test_invalid_local_order(self):
+        with pytest.raises(InvalidParameterError):
+            GreedyDispatchScheduler("lifo")
+
+    def test_accounts_for_running_backlog(self):
+        # Machine 0 is busy with a long job; a new job should go to machine 1
+        # even though its size there is slightly larger.
+        jobs = [Job(0, 0.0, (100.0, 200.0)), Job(1, 1.0, (5.0, 6.0))]
+        instance = Instance.build(2, jobs)
+        result = FlowTimeEngine(instance).run(GreedyDispatchScheduler())
+        assert result.record(1).machine == 1
+
+
+class TestFCFS:
+    def test_never_rejects_and_valid(self, random_instance):
+        result = FlowTimeEngine(random_instance).run(FCFSScheduler())
+        assert rejected_fraction(result) == 0.0
+        validate_result(result)
+
+    def test_runs_in_release_order(self):
+        jobs = [Job(0, 0.0, (5.0,)), Job(1, 0.1, (1.0,)), Job(2, 0.2, (0.5,))]
+        instance = Instance.build(1, jobs)
+        result = FlowTimeEngine(instance).run(FCFSScheduler())
+        assert result.record(1).start < result.record(2).start
+
+    def test_balances_load(self):
+        jobs = [Job(j, 0.0, (4.0, 4.0)) for j in range(4)]
+        instance = Instance.build(2, jobs)
+        result = FlowTimeEngine(instance).run(FCFSScheduler())
+        machines = [result.record(j).machine for j in range(4)]
+        assert machines.count(0) == 2 and machines.count(1) == 2
+
+
+class TestImmediateRejection:
+    def test_budget_respected(self):
+        instance = lemma1_instance(length=8.0, epsilon=0.25)
+        for variant in ("largest", "overload"):
+            scheduler = ImmediateRejectionScheduler(epsilon=0.25, variant=variant)
+            result = FlowTimeEngine(instance).run(scheduler)
+            assert rejected_fraction(result) <= 0.25 + 1e-9
+
+    def test_never_variant_rejects_nothing(self, random_instance):
+        scheduler = ImmediateRejectionScheduler(epsilon=0.5, variant="never")
+        result = FlowTimeEngine(random_instance).run(scheduler)
+        assert rejected_fraction(result) == 0.0
+
+    def test_rejection_happens_at_arrival_only(self):
+        instance = lemma1_instance(length=8.0, epsilon=0.5)
+        scheduler = ImmediateRejectionScheduler(epsilon=0.5, variant="largest")
+        result = FlowTimeEngine(instance).run(scheduler)
+        for record in result.rejected_records():
+            assert record.rejection_time == pytest.approx(record.release)
+            assert record.start is None  # never started, never interrupted
+
+    def test_degrades_with_delta(self):
+        # The Lemma 1 phenomenon: flow time normalised by the lower bound
+        # grows as the instance's Delta grows.
+        from repro.lowerbounds.flow_combinatorial import best_flow_time_lower_bound
+
+        ratios = []
+        for length in (4.0, 16.0):
+            instance = lemma1_instance(length=length, epsilon=0.25)
+            scheduler = ImmediateRejectionScheduler(epsilon=0.25, variant="largest")
+            result = FlowTimeEngine(instance).run(scheduler)
+            ratios.append(total_flow_time(result) / best_flow_time_lower_bound(instance))
+        assert ratios[1] > 1.5 * ratios[0]
+
+    def test_invalid_variant(self):
+        with pytest.raises(InvalidParameterError):
+            ImmediateRejectionScheduler(epsilon=0.1, variant="bogus")
+
+
+class TestSpeedAugmentation:
+    def test_runs_on_faster_machines(self, random_instance):
+        result = run_with_speed_augmentation(random_instance, epsilon_speed=0.5, epsilon_reject=0.5)
+        assert result.extras["epsilon_speed"] == 0.5
+        # All executions happen at the augmented speed factor 1.5.
+        assert all(iv.speed == pytest.approx(1.5) for iv in result.intervals)
+        validate_result(result)
+
+    def test_scheduler_uses_only_rule1(self):
+        scheduler = SpeedAugmentedScheduler(epsilon_reject=0.25)
+        assert scheduler.enable_rule1 and not scheduler.enable_rule2
+
+    def test_faster_machines_reduce_flow_time(self, random_instance):
+        slow = run_with_speed_augmentation(random_instance, epsilon_speed=0.0, epsilon_reject=0.25)
+        fast = run_with_speed_augmentation(random_instance, epsilon_speed=1.0, epsilon_reject=0.25)
+        assert total_flow_time(fast) < total_flow_time(slow)
+
+    def test_negative_speed_rejected(self, random_instance):
+        with pytest.raises(InvalidParameterError):
+            run_with_speed_augmentation(random_instance, epsilon_speed=-0.1, epsilon_reject=0.25)

@@ -1,0 +1,96 @@
+"""Unit tests for the closed-form theoretical bounds."""
+
+import math
+
+import pytest
+
+from repro.core.bounds import (
+    energy_flow_competitive_ratio,
+    energy_flow_gamma,
+    energy_flow_rejection_budget,
+    energy_min_competitive_ratio,
+    energy_min_lower_bound,
+    flow_time_competitive_ratio,
+    flow_time_rejection_budget,
+    immediate_rejection_lower_bound,
+    speed_augmentation_competitive_ratio,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestFlowTimeBounds:
+    def test_known_values(self):
+        assert flow_time_competitive_ratio(1.0) == pytest.approx(8.0)
+        assert flow_time_competitive_ratio(0.5) == pytest.approx(18.0)
+
+    def test_decreasing_in_epsilon(self):
+        assert flow_time_competitive_ratio(0.1) > flow_time_competitive_ratio(0.5)
+
+    def test_budget(self):
+        assert flow_time_rejection_budget(0.25) == pytest.approx(0.5)
+        assert flow_time_rejection_budget(0.9) == 1.0  # capped at all jobs
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(InvalidParameterError):
+            flow_time_competitive_ratio(0.0)
+        with pytest.raises(InvalidParameterError):
+            flow_time_rejection_budget(-1.0)
+
+
+class TestEnergyFlowBounds:
+    def test_gamma_positive(self):
+        for epsilon in (0.1, 0.5, 0.9):
+            for alpha in (1.5, 2.0, 2.5, 3.0):
+                assert energy_flow_gamma(epsilon, alpha) > 0
+
+    def test_gamma_alpha_two_matches_paper(self):
+        # For alpha = 2 the paper's expression reduces to eps/(1+eps).
+        assert energy_flow_gamma(0.5, 2.0) == pytest.approx(0.5 / 1.5)
+
+    def test_ratio_decreasing_in_epsilon(self):
+        assert energy_flow_competitive_ratio(0.1, 3.0) > energy_flow_competitive_ratio(0.9, 3.0)
+
+    def test_ratio_positive_and_finite(self):
+        for epsilon in (0.1, 0.5):
+            for alpha in (1.5, 2.0, 3.0):
+                ratio = energy_flow_competitive_ratio(epsilon, alpha)
+                assert math.isfinite(ratio) and ratio > 1
+
+    def test_budget(self):
+        assert energy_flow_rejection_budget(0.3) == pytest.approx(0.3)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            energy_flow_gamma(0.5, 1.0)
+        with pytest.raises(InvalidParameterError):
+            energy_flow_competitive_ratio(0.0, 2.0)
+
+
+class TestEnergyMinBounds:
+    def test_upper_bound(self):
+        assert energy_min_competitive_ratio(3.0) == pytest.approx(27.0)
+
+    def test_lower_bound(self):
+        assert energy_min_lower_bound(9.0) == pytest.approx(1.0)
+        assert energy_min_lower_bound(18.0) == pytest.approx(2.0**18)
+
+    def test_lower_below_upper(self):
+        for alpha in (2.0, 3.0, 5.0, 8.0):
+            assert energy_min_lower_bound(alpha) < energy_min_competitive_ratio(alpha)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(InvalidParameterError):
+            energy_min_competitive_ratio(0.5)
+
+
+class TestOtherBounds:
+    def test_immediate_rejection_grows_with_delta(self):
+        assert immediate_rejection_lower_bound(100.0) > immediate_rejection_lower_bound(4.0)
+
+    def test_immediate_rejection_sqrt_shape(self):
+        assert immediate_rejection_lower_bound(64.0, constant=1.0) == pytest.approx(8.0)
+
+    def test_speed_augmentation_ratio(self):
+        assert speed_augmentation_competitive_ratio(0.5, 0.5) == pytest.approx(4.0)
+        with pytest.raises(InvalidParameterError):
+            speed_augmentation_competitive_ratio(0.0, 0.5)

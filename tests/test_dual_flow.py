@@ -1,0 +1,95 @@
+"""Tests for the Section 2 dual-fitting accountant (Lemma 4, Theorem 1 analysis)."""
+
+import pytest
+
+from repro.core.dual import FlowTimeDualAccountant
+from repro.core.flow_time import RejectionFlowTimeScheduler
+from repro.exceptions import InvalidParameterError
+from repro.simulation.engine import FlowTimeEngine
+from repro.simulation.instance import Instance
+from repro.simulation.job import Job
+from repro.workloads.adversarial import lemma1_instance, overload_burst_instance
+from repro.workloads.generators import InstanceGenerator
+
+
+def _run(instance, epsilon):
+    scheduler = RejectionFlowTimeScheduler(epsilon=epsilon)
+    result = FlowTimeEngine(instance).run(scheduler)
+    return FlowTimeDualAccountant(result, scheduler), result
+
+
+class TestDualFeasibility:
+    @pytest.mark.parametrize("epsilon", [0.25, 0.5, 0.75])
+    def test_random_instances(self, epsilon):
+        instance = InstanceGenerator(num_machines=3, seed=3).generate(50)
+        accountant, _ = _run(instance, epsilon)
+        check = accountant.check_feasibility(samples_per_job=15)
+        assert check.checked_constraints > 0
+        assert check.feasible, f"violations: {check.violations[:3]}"
+
+    def test_adversarial_instance(self):
+        accountant, _ = _run(lemma1_instance(length=8.0, epsilon=0.25), 0.25)
+        check = accountant.check_feasibility(samples_per_job=10)
+        assert check.feasible
+
+    def test_overload_instance(self):
+        accountant, _ = _run(overload_burst_instance(2, burst_jobs=3, trailing_shorts=60), 0.5)
+        check = accountant.check_feasibility(samples_per_job=10)
+        assert check.feasible
+
+
+class TestDualQuantities:
+    def test_beta_integral_matches_definitive_flow(self):
+        instance = InstanceGenerator(num_machines=2, seed=4).generate(30)
+        accountant, result = _run(instance, 0.5)
+        check = accountant.check_feasibility(samples_per_job=5)
+        epsilon = 0.5
+        scale = epsilon / (1.0 + epsilon) ** 2
+        assert check.beta_integral == pytest.approx(scale * check.extended_flow_time)
+
+    def test_extended_flow_at_least_algorithm_flow(self):
+        instance = InstanceGenerator(num_machines=2, seed=4).generate(30)
+        accountant, result = _run(instance, 0.5)
+        check = accountant.check_feasibility(samples_per_job=5)
+        # C~_j - r_j >= F_j for every job, so the totals compare the same way.
+        assert check.extended_flow_time >= check.algorithm_flow_time - 1e-9
+
+    def test_dual_objective_dominates_analysis_bound(self):
+        # The Theorem 1 chain: dual objective >= (eps/(1+eps))^2 sum(C~_j - r_j).
+        instance = InstanceGenerator(num_machines=3, seed=9).generate(60)
+        accountant, _ = _run(instance, 0.4)
+        check = accountant.check_feasibility(samples_per_job=5)
+        assert check.dual_objective >= accountant.theoretical_dual_lower_bound() - 1e-6
+
+    def test_pending_count_matches_queue(self):
+        jobs = [Job(0, 0.0, (4.0,)), Job(1, 1.0, (2.0,)), Job(2, 1.5, (1.0,))]
+        instance = Instance.build(1, jobs)
+        scheduler = RejectionFlowTimeScheduler(
+            epsilon=0.5, enable_rule1=False, enable_rule2=False
+        )
+        result = FlowTimeEngine(instance).run(scheduler)
+        accountant = FlowTimeDualAccountant(result, scheduler)
+        # At time 2.0 job 0 is running and jobs 1, 2 wait (rules disabled, no rejection).
+        assert accountant.pending_count(0, 2.0) == 3
+
+    def test_definitive_finish_no_rejections(self):
+        jobs = [Job(0, 0.0, (2.0,)), Job(1, 5.0, (1.0,))]
+        instance = Instance.build(1, jobs)
+        accountant, result = _run(instance, 0.5)
+        # Without any rejection C~_j equals the completion time.
+        for job_id, record in result.records.items():
+            assert accountant.definitive_finish(job_id) == pytest.approx(record.completion)
+
+    def test_requires_populated_scheduler(self):
+        instance = Instance.build(1, [Job(0, 0.0, (1.0,))])
+        scheduler = RejectionFlowTimeScheduler(epsilon=0.5)
+        result = FlowTimeEngine(instance).run(scheduler)
+        fresh = RejectionFlowTimeScheduler(epsilon=0.5)
+        with pytest.raises(InvalidParameterError):
+            FlowTimeDualAccountant(result, fresh)
+
+    def test_dual_to_flow_ratio_positive(self):
+        instance = InstanceGenerator(num_machines=2, seed=1).generate(40)
+        accountant, _ = _run(instance, 0.5)
+        check = accountant.check_feasibility(samples_per_job=5)
+        assert check.dual_to_flow_ratio > 0

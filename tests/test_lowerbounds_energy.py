@@ -1,0 +1,91 @@
+"""Tests for the energy lower bounds (Sections 3 and 4)."""
+
+import pytest
+
+from repro.baselines.offline import brute_force_optimal_energy
+from repro.baselines.yds import yds_energy
+from repro.core.energy_min import ConfigLPEnergyScheduler
+from repro.exceptions import InvalidParameterError
+from repro.lowerbounds.energy_bounds import (
+    best_energy_lower_bound,
+    per_job_deadline_energy_lower_bound,
+    per_job_flow_energy_lower_bound,
+    single_job_flow_energy_optimum,
+)
+from repro.simulation.instance import Instance
+from repro.simulation.job import Job
+from repro.simulation.machine import Machine
+from repro.simulation.metrics import flow_plus_energy
+from repro.simulation.speed_engine import SpeedScalingEngine
+from repro.core.flow_time_energy import RejectionEnergyFlowScheduler
+from repro.workloads.generators import DeadlineInstanceGenerator, WeightedInstanceGenerator
+
+
+class TestSingleJobOptimum:
+    def test_closed_form_alpha_two(self):
+        # For alpha=2 the optimum of w*p/s + p*s is 2*p*sqrt(w).
+        assert single_job_flow_energy_optimum(3.0, 4.0, 2.0) == pytest.approx(2 * 3.0 * 2.0)
+
+    def test_matches_numeric_minimum(self):
+        import numpy as np
+
+        volume, weight, alpha = 2.0, 3.0, 2.5
+        speeds = np.linspace(0.05, 10.0, 20000)
+        numeric = float(np.min(weight * volume / speeds + volume * speeds ** (alpha - 1.0)))
+        assert single_job_flow_energy_optimum(volume, weight, alpha) == pytest.approx(
+            numeric, rel=1e-3
+        )
+
+    def test_invalid_inputs(self):
+        with pytest.raises(InvalidParameterError):
+            single_job_flow_energy_optimum(0.0, 1.0, 2.0)
+        with pytest.raises(InvalidParameterError):
+            single_job_flow_energy_optimum(1.0, 1.0, 1.0)
+
+
+class TestFlowEnergyLowerBound:
+    def test_below_any_schedule(self):
+        for seed in (0, 1, 2):
+            instance = WeightedInstanceGenerator(num_machines=2, alpha=2.5, seed=seed).generate(40)
+            result = SpeedScalingEngine(instance).run(
+                RejectionEnergyFlowScheduler(epsilon=0.5, enable_rejection=False)
+            )
+            assert per_job_flow_energy_lower_bound(instance) <= flow_plus_energy(result) + 1e-6
+
+    def test_uses_best_machine(self):
+        jobs = [Job(0, 0.0, (10.0, 1.0), weight=1.0)]
+        instance = Instance.build(Machine.fleet(2, alpha=2.0), jobs)
+        assert per_job_flow_energy_lower_bound(instance) == pytest.approx(
+            single_job_flow_energy_optimum(1.0, 1.0, 2.0)
+        )
+
+
+class TestDeadlineEnergyLowerBound:
+    def test_single_job_exact(self):
+        jobs = [Job(0, 0.0, (2.0,), deadline=4.0)]
+        instance = Instance.build(Machine.fleet(1, alpha=2.0), jobs)
+        # p * (p/W)^(alpha-1) = 2 * 0.5 = 1, and that is exactly achievable.
+        assert per_job_deadline_energy_lower_bound(instance) == pytest.approx(1.0)
+        assert yds_energy(instance) == pytest.approx(1.0)
+
+    def test_missing_deadline_rejected(self):
+        instance = Instance.build(1, [Job(0, 0.0, (1.0,))])
+        with pytest.raises(InvalidParameterError):
+            per_job_deadline_energy_lower_bound(instance)
+
+    def test_certified_against_brute_force(self):
+        for seed in (0, 1):
+            instance = DeadlineInstanceGenerator(
+                num_machines=2, slack=3.0, alpha=2.0, seed=seed
+            ).generate(5)
+            optimum = brute_force_optimal_energy(instance, slot_length=1.0, speeds_per_job=6)
+            assert per_job_deadline_energy_lower_bound(instance) <= optimum + 1e-9
+
+    def test_best_bound_uses_yds_on_single_machine(self, single_machine_deadline_instance):
+        best = best_energy_lower_bound(single_machine_deadline_instance)
+        assert best >= yds_energy(single_machine_deadline_instance) - 1e-9
+        assert best >= per_job_deadline_energy_lower_bound(single_machine_deadline_instance) - 1e-9
+
+    def test_best_bound_below_greedy(self, deadline_instance):
+        greedy = ConfigLPEnergyScheduler().schedule(deadline_instance).total_energy
+        assert best_energy_lower_bound(deadline_instance) <= greedy + 1e-9

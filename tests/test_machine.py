@@ -1,0 +1,67 @@
+"""Unit tests for :mod:`repro.simulation.machine`."""
+
+import pytest
+
+from repro.exceptions import InvalidInstanceError
+from repro.simulation.machine import Machine
+
+
+class TestMachineValidation:
+    def test_valid_machine(self):
+        machine = Machine(0, speed_factor=1.5, alpha=2.0)
+        assert machine.id == 0
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            Machine(-1)
+
+    def test_non_positive_speed_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            Machine(0, speed_factor=0.0)
+
+    def test_alpha_below_one_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            Machine(0, alpha=0.5)
+
+
+class TestMachineBehaviour:
+    def test_power(self):
+        assert Machine(0, alpha=3.0).power(2.0) == pytest.approx(8.0)
+
+    def test_power_zero_speed(self):
+        assert Machine(0, alpha=3.0).power(0.0) == 0.0
+
+    def test_power_negative_speed_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            Machine(0).power(-1.0)
+
+    def test_processing_duration_unit_speed(self):
+        assert Machine(0).processing_duration(6.0) == pytest.approx(6.0)
+
+    def test_processing_duration_augmented(self):
+        assert Machine(0, speed_factor=2.0).processing_duration(6.0) == pytest.approx(3.0)
+
+    def test_processing_duration_explicit_speed(self):
+        assert Machine(0).processing_duration(6.0, speed=3.0) == pytest.approx(2.0)
+
+    def test_processing_duration_zero_speed_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            Machine(0).processing_duration(6.0, speed=0.0)
+
+
+class TestMachineFleet:
+    def test_fleet_ids_consecutive(self):
+        fleet = Machine.fleet(4)
+        assert [m.id for m in fleet] == [0, 1, 2, 3]
+
+    def test_fleet_shares_parameters(self):
+        fleet = Machine.fleet(3, speed_factor=1.5, alpha=2.0)
+        assert all(m.speed_factor == 1.5 and m.alpha == 2.0 for m in fleet)
+
+    def test_fleet_rejects_zero(self):
+        with pytest.raises(InvalidInstanceError):
+            Machine.fleet(0)
+
+    def test_serialisation_roundtrip(self):
+        machine = Machine(2, speed_factor=1.25, alpha=2.5)
+        assert Machine.from_dict(machine.to_dict()) == machine

@@ -1,0 +1,111 @@
+"""Unit tests for :mod:`repro.simulation.metrics`."""
+
+import pytest
+
+from repro.simulation.engine import ArrivalDecision, FlowTimeEngine, FlowTimePolicy
+from repro.simulation.instance import Instance
+from repro.simulation.job import Job
+from repro.simulation.machine import Machine
+from repro.simulation.metrics import (
+    flow_plus_energy,
+    machine_utilisation,
+    max_flow_time,
+    mean_stretch,
+    rejected_count,
+    rejected_fraction,
+    rejected_weight,
+    rejected_weight_fraction,
+    summarize,
+    total_energy,
+    total_flow_time,
+    total_weighted_flow_time,
+)
+from repro.simulation.schedule import ExecutionInterval, JobRecord, SimulationResult
+
+
+def _manual_result() -> SimulationResult:
+    """Two completed jobs and one rejected job with easily checked numbers."""
+    instance = Instance.build(
+        Machine.fleet(2, alpha=2.0),
+        [
+            Job(0, 0.0, (2.0, 2.0), weight=1.0),
+            Job(1, 1.0, (3.0, 3.0), weight=2.0),
+            Job(2, 2.0, (4.0, 4.0), weight=4.0),
+        ],
+    )
+    records = {
+        0: JobRecord(0, 1.0, 0.0, 0, 0.0, 2.0, False),          # flow 2
+        1: JobRecord(1, 2.0, 1.0, 1, 1.0, 4.0, False),          # flow 3
+        2: JobRecord(2, 4.0, 2.0, 0, None, None, True, rejection_time=5.0),  # flow 3
+    }
+    intervals = [
+        ExecutionInterval(0, 0, 0.0, 2.0, speed=1.0),
+        ExecutionInterval(1, 1, 1.0, 4.0, speed=1.0),
+    ]
+    return SimulationResult(instance, records, intervals, algorithm="manual")
+
+
+class TestFlowMetrics:
+    def test_total_flow_time_includes_rejected(self):
+        assert total_flow_time(_manual_result()) == pytest.approx(2.0 + 3.0 + 3.0)
+
+    def test_total_flow_time_excluding_rejected(self):
+        assert total_flow_time(_manual_result(), include_rejected=False) == pytest.approx(5.0)
+
+    def test_total_weighted_flow_time(self):
+        assert total_weighted_flow_time(_manual_result()) == pytest.approx(
+            1.0 * 2.0 + 2.0 * 3.0 + 4.0 * 3.0
+        )
+
+    def test_max_flow_time(self):
+        assert max_flow_time(_manual_result()) == pytest.approx(3.0)
+
+    def test_mean_stretch_completed_only(self):
+        # Job 0: flow 2 / best size 2 = 1; job 1: flow 3 / 3 = 1.
+        assert mean_stretch(_manual_result()) == pytest.approx(1.0)
+
+
+class TestEnergyMetrics:
+    def test_total_energy_unit_speed(self):
+        # Two intervals at speed 1 with alpha 2: energy equals busy time.
+        assert total_energy(_manual_result()) == pytest.approx(2.0 + 3.0)
+
+    def test_flow_plus_energy(self):
+        result = _manual_result()
+        assert flow_plus_energy(result) == pytest.approx(
+            total_weighted_flow_time(result) + total_energy(result)
+        )
+
+
+class TestRejectionMetrics:
+    def test_counts(self):
+        result = _manual_result()
+        assert rejected_count(result) == 1
+        assert rejected_fraction(result) == pytest.approx(1.0 / 3.0)
+
+    def test_weights(self):
+        result = _manual_result()
+        assert rejected_weight(result) == pytest.approx(4.0)
+        assert rejected_weight_fraction(result) == pytest.approx(4.0 / 7.0)
+
+
+class TestSummaryAndUtilisation:
+    def test_summarize_consistency(self):
+        result = _manual_result()
+        summary = summarize(result)
+        assert summary.total_flow_time == pytest.approx(total_flow_time(result))
+        assert summary.rejected_count == 1
+        assert summary.makespan == pytest.approx(4.0)
+        assert summary.as_dict()["algorithm"] == "manual"
+
+    def test_machine_utilisation(self):
+        utilisation = machine_utilisation(_manual_result())
+        assert utilisation[0] == pytest.approx(2.0 / 4.0)
+        assert utilisation[1] == pytest.approx(3.0 / 4.0)
+
+    def test_empty_result(self):
+        instance = Instance.build(1, [])
+        empty = SimulationResult(instance, {}, [], algorithm="empty")
+        assert total_flow_time(empty) == 0.0
+        assert rejected_fraction(empty) == 0.0
+        assert machine_utilisation(empty) == [0.0]

@@ -1,0 +1,95 @@
+"""Tests for the offline references (list scheduling and brute force)."""
+
+import pytest
+
+from repro.baselines.greedy import GreedyDispatchScheduler
+from repro.baselines.offline import (
+    brute_force_optimal_energy,
+    brute_force_optimal_flow_time,
+    offline_list_schedule,
+)
+from repro.core.energy_min import ConfigLPEnergyScheduler
+from repro.exceptions import InvalidParameterError
+from repro.simulation.engine import FlowTimeEngine
+from repro.simulation.instance import Instance
+from repro.simulation.job import Job
+from repro.simulation.machine import Machine
+from repro.simulation.metrics import total_flow_time
+from repro.workloads.generators import DeadlineInstanceGenerator, InstanceGenerator
+
+
+class TestOfflineListSchedule:
+    def test_single_machine_spt_optimal_case(self):
+        # Simultaneous release on one machine: SPT list scheduling is optimal.
+        jobs = [Job(0, 0.0, (3.0,)), Job(1, 0.0, (1.0,)), Job(2, 0.0, (2.0,))]
+        instance = Instance.build(1, jobs)
+        assert offline_list_schedule(instance) == pytest.approx(1.0 + 3.0 + 6.0)
+
+    def test_feasible_hence_at_least_optimum(self):
+        instance = InstanceGenerator(num_machines=2, seed=3).generate(6)
+        heuristic = offline_list_schedule(instance)
+        optimum = brute_force_optimal_flow_time(instance)
+        assert heuristic >= optimum - 1e-9
+
+    def test_empty_instance(self):
+        assert offline_list_schedule(Instance.build(2, [])) == 0.0
+
+    def test_unknown_ordering_rejected(self):
+        instance = Instance.build(1, [Job(0, 0.0, (1.0,))])
+        with pytest.raises(InvalidParameterError):
+            offline_list_schedule(instance, orderings=("bogus",))
+
+
+class TestBruteForceFlowTime:
+    def test_single_job(self):
+        instance = Instance.build(2, [Job(0, 1.0, (4.0, 2.0))])
+        assert brute_force_optimal_flow_time(instance) == pytest.approx(2.0)
+
+    def test_two_jobs_two_machines(self):
+        jobs = [Job(0, 0.0, (3.0, 3.0)), Job(1, 0.0, (3.0, 3.0))]
+        instance = Instance.build(2, jobs)
+        # One job per machine: flows 3 + 3.
+        assert brute_force_optimal_flow_time(instance) == pytest.approx(6.0)
+
+    def test_waiting_is_sometimes_forced(self):
+        jobs = [Job(0, 0.0, (2.0,)), Job(1, 0.0, (2.0,))]
+        instance = Instance.build(1, jobs)
+        assert brute_force_optimal_flow_time(instance) == pytest.approx(2.0 + 4.0)
+
+    def test_never_above_any_online_policy(self):
+        instance = InstanceGenerator(num_machines=2, seed=10).generate(6)
+        optimum = brute_force_optimal_flow_time(instance)
+        online = total_flow_time(FlowTimeEngine(instance).run(GreedyDispatchScheduler()))
+        assert optimum <= online + 1e-9
+
+    def test_size_limit(self):
+        instance = InstanceGenerator(num_machines=2, seed=0).generate(12)
+        with pytest.raises(InvalidParameterError):
+            brute_force_optimal_flow_time(instance, max_jobs=8)
+
+    def test_respects_forbidden_machines(self):
+        import math
+
+        jobs = [Job(0, 0.0, (math.inf, 5.0)), Job(1, 0.0, (1.0, math.inf))]
+        instance = Instance.build(2, jobs)
+        assert brute_force_optimal_flow_time(instance) == pytest.approx(6.0)
+
+
+class TestBruteForceEnergy:
+    def test_single_job_matches_greedy(self):
+        jobs = [Job(0, 0.0, (2.0,), deadline=4.0)]
+        instance = Instance.build(Machine.fleet(1, alpha=2.0), jobs)
+        greedy = ConfigLPEnergyScheduler(slot_length=1.0, speeds_per_job=8).schedule(instance)
+        optimum = brute_force_optimal_energy(instance, slot_length=1.0, speeds_per_job=8)
+        assert optimum == pytest.approx(greedy.total_energy)
+
+    def test_never_above_greedy_same_grid(self):
+        instance = DeadlineInstanceGenerator(num_machines=2, slack=3.0, alpha=2.0, seed=4).generate(5)
+        greedy = ConfigLPEnergyScheduler(slot_length=1.0, speeds_per_job=6).schedule(instance)
+        optimum = brute_force_optimal_energy(instance, slot_length=1.0, speeds_per_job=6, max_jobs=5)
+        assert optimum <= greedy.total_energy + 1e-9
+
+    def test_size_limit(self):
+        instance = DeadlineInstanceGenerator(num_machines=1, slack=3.0, seed=1).generate(10)
+        with pytest.raises(InvalidParameterError):
+            brute_force_optimal_energy(instance, max_jobs=6)

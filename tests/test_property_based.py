@@ -1,0 +1,202 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants.
+
+These tests generate random instances and parameters and check properties the
+paper's analysis relies on:
+
+* the engines always produce valid non-preemptive schedules and settle every job;
+* the Theorem 1 / Theorem 2 rejection budgets hold for every epsilon;
+* the certified lower bounds never exceed feasible schedule costs;
+* the event queue behaves like a stable priority queue;
+* the smooth inequality of Section 4 holds for the reported parameters;
+* the greedy energy schedule is never cheaper than the discretised optimum's
+  lower bound and never violates a deadline.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import flow_time_rejection_budget
+from repro.core.flow_time import RejectionFlowTimeScheduler
+from repro.core.flow_time_energy import RejectionEnergyFlowScheduler
+from repro.core.smoothness import required_lambda, smoothness_parameters
+from repro.lowerbounds.flow_combinatorial import (
+    busy_interval_lower_bound,
+    total_processing_lower_bound,
+)
+from repro.simulation.engine import FlowTimeEngine
+from repro.simulation.events import EventQueue
+from repro.simulation.instance import Instance
+from repro.simulation.job import Job
+from repro.simulation.machine import Machine
+from repro.simulation.metrics import (
+    rejected_fraction,
+    rejected_weight_fraction,
+    total_flow_time,
+)
+from repro.simulation.speed_engine import SpeedScalingEngine
+from repro.simulation.validation import validate_result
+
+# ---------------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------------
+
+_sizes = st.floats(min_value=0.1, max_value=20.0, allow_nan=False, allow_infinity=False)
+_releases = st.floats(min_value=0.0, max_value=30.0, allow_nan=False, allow_infinity=False)
+_weights = st.floats(min_value=0.1, max_value=5.0, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def flow_instances(draw, max_jobs: int = 12, max_machines: int = 3) -> Instance:
+    """Random small unrelated-machine instances without deadlines."""
+    num_machines = draw(st.integers(min_value=1, max_value=max_machines))
+    num_jobs = draw(st.integers(min_value=1, max_value=max_jobs))
+    jobs = []
+    for job_id in range(num_jobs):
+        release = draw(_releases)
+        sizes = tuple(draw(_sizes) for _ in range(num_machines))
+        weight = draw(_weights)
+        jobs.append(Job(id=job_id, release=release, sizes=sizes, weight=weight))
+    return Instance.build(num_machines, jobs)
+
+
+_epsilons = st.floats(min_value=0.05, max_value=0.95, allow_nan=False)
+
+
+# ---------------------------------------------------------------------------------
+# Engine invariants
+# ---------------------------------------------------------------------------------
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(instance=flow_instances(), epsilon=_epsilons)
+def test_flow_engine_produces_valid_schedules(instance, epsilon):
+    scheduler = RejectionFlowTimeScheduler(epsilon=epsilon)
+    result = FlowTimeEngine(instance).run(scheduler)
+    report = validate_result(result, raise_on_error=False)
+    assert report.ok, report.violations[:3]
+    assert len(result.records) == instance.num_jobs
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(instance=flow_instances(), epsilon=_epsilons)
+def test_theorem1_rejection_budget_always_holds(instance, epsilon):
+    scheduler = RejectionFlowTimeScheduler(epsilon=epsilon)
+    result = FlowTimeEngine(instance).run(scheduler)
+    assert rejected_fraction(result) <= flow_time_rejection_budget(epsilon) + 1e-9
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(instance=flow_instances(), epsilon=_epsilons)
+def test_theorem2_weight_budget_always_holds(instance, epsilon):
+    alpha_instance = instance.with_alpha(2.5)
+    scheduler = RejectionEnergyFlowScheduler(epsilon=epsilon)
+    result = SpeedScalingEngine(alpha_instance).run(scheduler)
+    assert rejected_weight_fraction(result) <= epsilon + 1e-9
+    report = validate_result(result, raise_on_error=False)
+    assert report.ok, report.violations[:3]
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(instance=flow_instances(max_jobs=8), epsilon=_epsilons)
+def test_lower_bounds_below_rejection_free_schedules(instance, epsilon):
+    # Any schedule that completes every job costs at least the certified bounds.
+    scheduler = RejectionFlowTimeScheduler(
+        epsilon=epsilon, enable_rule1=False, enable_rule2=False
+    )
+    result = FlowTimeEngine(instance).run(scheduler)
+    cost = total_flow_time(result)
+    assert total_processing_lower_bound(instance) <= cost + 1e-6
+    assert busy_interval_lower_bound(instance) <= cost + 1e-6
+
+
+# ---------------------------------------------------------------------------------
+# Event queue behaves like a stable priority queue
+# ---------------------------------------------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(
+    times=st.lists(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_event_queue_pops_in_time_order(times):
+    queue = EventQueue()
+    for job_id, time in enumerate(times):
+        queue.push_arrival(time, job_id)
+    popped = [queue.pop() for _ in range(len(times))]
+    assert [e.time for e in popped] == sorted(times)
+    # Stability: equal times pop in insertion order.
+    seen_at_time: dict[float, list[int]] = {}
+    for event in popped:
+        seen_at_time.setdefault(event.time, []).append(event.job_id)
+    for ids in seen_at_time.values():
+        assert ids == sorted(ids)
+
+
+# ---------------------------------------------------------------------------------
+# Smooth inequality (Section 4 analysis)
+# ---------------------------------------------------------------------------------
+
+@settings(max_examples=80, deadline=None)
+@given(
+    alpha=st.sampled_from([1.5, 2.0, 2.5, 3.0]),
+    pairs=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=4.0, allow_nan=False),
+            st.floats(min_value=0.0, max_value=4.0, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=6,
+    ),
+)
+def test_smooth_inequality_holds_for_reported_parameters(alpha, pairs):
+    a = [p[0] for p in pairs]
+    b = [p[1] for p in pairs]
+    params = smoothness_parameters(alpha)
+    assert required_lambda(alpha, a, b, params.mu) <= params.lam + 1e-9
+
+
+# ---------------------------------------------------------------------------------
+# Serialisation round-trips
+# ---------------------------------------------------------------------------------
+
+@settings(max_examples=50, deadline=None)
+@given(instance=flow_instances())
+def test_instance_json_roundtrip(instance):
+    restored = Instance.from_json(instance.to_json())
+    assert restored.jobs == instance.jobs
+    assert restored.machines == instance.machines
+
+
+# ---------------------------------------------------------------------------------
+# Energy-minimisation greedy: feasibility and bound ordering
+# ---------------------------------------------------------------------------------
+
+@st.composite
+def deadline_instances(draw, max_jobs: int = 6) -> Instance:
+    num_jobs = draw(st.integers(min_value=1, max_value=max_jobs))
+    alpha = draw(st.sampled_from([1.5, 2.0, 3.0]))
+    jobs = []
+    for job_id in range(num_jobs):
+        release = draw(st.floats(min_value=0.0, max_value=10.0, allow_nan=False))
+        volume = draw(st.floats(min_value=0.5, max_value=5.0, allow_nan=False))
+        window = draw(st.floats(min_value=1.5, max_value=10.0, allow_nan=False))
+        jobs.append(Job(id=job_id, release=release, sizes=(volume,), deadline=release + window))
+    return Instance.build(Machine.fleet(1, alpha=alpha), jobs)
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(instance=deadline_instances())
+def test_energy_greedy_feasible_and_above_bounds(instance):
+    from repro.core.energy_min import ConfigLPEnergyScheduler
+    from repro.lowerbounds.energy_bounds import per_job_deadline_energy_lower_bound
+
+    schedule = ConfigLPEnergyScheduler(slot_length=0.5).schedule(instance)
+    schedule.validate()
+    assert schedule.total_energy >= per_job_deadline_energy_lower_bound(instance) - 1e-6
+    assert math.isfinite(schedule.total_energy)

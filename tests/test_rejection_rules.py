@@ -1,0 +1,105 @@
+"""Unit tests for the rejection counters of Sections 2 and 3."""
+
+import pytest
+
+from repro.core.rejection import (
+    MachineArrivalCounter,
+    RejectionLog,
+    RunningJobCounter,
+    WeightedRunningJobCounter,
+    check_epsilon,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestCheckEpsilon:
+    def test_valid(self):
+        assert check_epsilon(0.5) == 0.5
+
+    def test_zero_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            check_epsilon(0.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            check_epsilon(-0.1)
+
+
+class TestRule1Counter:
+    def test_threshold_half(self):
+        counter = RunningJobCounter(epsilon=0.5)
+        assert not counter.record_dispatch()  # 1 < 2
+        assert counter.record_dispatch()  # 2 >= 2
+
+    def test_threshold_quarter(self):
+        counter = RunningJobCounter(epsilon=0.25)
+        fired = [counter.record_dispatch() for _ in range(4)]
+        assert fired == [False, False, False, True]
+
+    def test_non_integer_threshold_rounds_up(self):
+        counter = RunningJobCounter(epsilon=0.3)  # 1/eps = 3.33 -> fires at 4
+        fired = [counter.record_dispatch() for _ in range(4)]
+        assert fired == [False, False, False, True]
+
+    def test_fired_property(self):
+        counter = RunningJobCounter(epsilon=1.0)
+        assert not counter.fired
+        counter.record_dispatch()
+        assert counter.fired
+
+
+class TestRule2Counter:
+    def test_threshold_and_reset(self):
+        counter = MachineArrivalCounter(epsilon=0.5)  # threshold ceil(1 + 2) = 3
+        assert [counter.record_dispatch() for _ in range(3)] == [False, False, True]
+        # After firing the counter resets and needs another 3 dispatches.
+        assert [counter.record_dispatch() for _ in range(3)] == [False, False, True]
+        assert counter.fired_times == 2
+
+    def test_rejection_rate_bounded_by_epsilon(self):
+        # Over n dispatches the rule fires at most n / ceil(1 + 1/eps) <= eps * n times.
+        for epsilon in (0.2, 0.35, 0.5, 0.9):
+            counter = MachineArrivalCounter(epsilon=epsilon)
+            n = 1000
+            fires = sum(counter.record_dispatch() for _ in range(n))
+            assert fires <= epsilon * n + 1
+
+
+class TestWeightedCounter:
+    def test_fires_only_above_threshold(self):
+        counter = WeightedRunningJobCounter(epsilon=0.5, job_weight=2.0)  # threshold 4.0
+        assert not counter.record_dispatch(3.0)
+        assert not counter.record_dispatch(1.0)  # exactly 4.0 is not strictly above
+        assert counter.record_dispatch(0.1)
+
+    def test_rejected_weight_bounded(self):
+        # When the rule fires, the job's weight is less than epsilon times the
+        # accumulated dispatched weight - the Theorem 2 budget argument.
+        epsilon = 0.25
+        counter = WeightedRunningJobCounter(epsilon=epsilon, job_weight=1.0)
+        total = 0.0
+        while not counter.fired:
+            counter.record_dispatch(0.5)
+            total += 0.5
+        assert 1.0 < epsilon * total + 0.5  # job weight < eps * accumulated (+ last step)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            WeightedRunningJobCounter(epsilon=0.5, job_weight=0.0)
+        counter = WeightedRunningJobCounter(epsilon=0.5, job_weight=1.0)
+        with pytest.raises(InvalidParameterError):
+            counter.record_dispatch(-1.0)
+
+
+class TestRejectionLog:
+    def test_totals(self):
+        log = RejectionLog()
+        log.rule1.append(1)
+        log.rule2.extend([2, 3])
+        log.weighted.append(4)
+        assert log.total() == 4
+        assert log.as_dict() == {
+            "rule1_rejections": 1,
+            "rule2_rejections": 2,
+            "weighted_rejections": 1,
+        }

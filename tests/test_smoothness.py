@@ -1,0 +1,89 @@
+"""Tests for the (λ, μ)-smoothness machinery of Section 4."""
+
+import pytest
+
+from repro.core.smoothness import (
+    lambda_single_step,
+    mu_default,
+    power_smoothness_certificate,
+    required_lambda,
+    smooth_competitive_ratio,
+    smooth_inequality_lhs,
+    smooth_inequality_rhs,
+    smoothness_parameters,
+    verify_smooth_inequality,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestParameters:
+    def test_mu_formula(self):
+        assert mu_default(2.0) == pytest.approx(0.5)
+        assert mu_default(4.0) == pytest.approx(0.75)
+
+    def test_mu_invalid(self):
+        with pytest.raises(InvalidParameterError):
+            mu_default(0.5)
+
+    def test_lambda_single_step_alpha_two(self):
+        # For alpha=2, mu=1/2 the sup of (t+1)^2 - 1.5 t^2 is 3 (at t = 2).
+        assert lambda_single_step(2.0, 0.5) == pytest.approx(3.0, rel=1e-3)
+
+    def test_lambda_grows_like_alpha_power(self):
+        values = [smoothness_parameters(alpha).lam for alpha in (2.0, 2.5, 3.0)]
+        assert values[0] < values[1] < values[2]
+
+    def test_competitive_ratio_formula(self):
+        assert smooth_competitive_ratio(3.0, 0.5) == pytest.approx(6.0)
+        with pytest.raises(InvalidParameterError):
+            smooth_competitive_ratio(-1.0, 0.5)
+        with pytest.raises(InvalidParameterError):
+            smooth_competitive_ratio(1.0, 1.0)
+
+    def test_certificate_reports_paper_ratio(self):
+        certificate = power_smoothness_certificate(3.0)
+        assert certificate["paper_ratio"] == pytest.approx(27.0)
+        assert certificate["mu"] == pytest.approx(2.0 / 3.0)
+        assert certificate["lambda"] > 0
+
+
+class TestSmoothInequality:
+    def test_lhs_known_value(self):
+        # a=(1,1), b=(1,1), alpha=2: [(1+1)^2 - 1] + [(1+2)^2 - 4] = 3 + 5 = 8.
+        assert smooth_inequality_lhs(2.0, [1.0, 1.0], [1.0, 1.0]) == pytest.approx(8.0)
+
+    def test_rhs_known_value(self):
+        assert smooth_inequality_rhs(2.0, [1.0, 1.0], [1.0, 1.0], lam=3.0, mu=0.5) == (
+            pytest.approx(3.0 * 4.0 + 0.5 * 4.0)
+        )
+
+    def test_holds_with_default_parameters(self):
+        sequences = [
+            ([1.0, 1.0], [1.0, 1.0]),
+            ([2.0, 0.5, 1.0], [0.5, 3.0, 1.0]),
+            ([0.0, 0.0], [2.0, 2.0]),
+            ([4.0], [0.1]),
+        ]
+        for alpha in (1.5, 2.0, 2.5, 3.0):
+            for a, b in sequences:
+                assert verify_smooth_inequality(alpha, a, b)
+
+    def test_required_lambda_below_parameter(self):
+        for alpha in (2.0, 3.0):
+            params = smoothness_parameters(alpha)
+            for a, b in [([1.0, 2.0, 1.0], [2.0, 0.5, 1.0]), ([0.5] * 5, [1.5] * 5)]:
+                assert required_lambda(alpha, a, b, params.mu) <= params.lam + 1e-9
+
+    def test_violations_detected_with_tiny_lambda(self):
+        assert not verify_smooth_inequality(2.0, [2.0], [1.0], lam=0.1, mu=0.0)
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(InvalidParameterError):
+            smooth_inequality_lhs(2.0, [-1.0], [1.0])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            smooth_inequality_lhs(2.0, [1.0], [1.0, 2.0])
+
+    def test_zero_b_trivial(self):
+        assert required_lambda(2.0, [1.0, 2.0], [0.0, 0.0], mu=0.5) == 0.0

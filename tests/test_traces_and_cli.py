@@ -1,0 +1,123 @@
+"""Tests for the schedule trace export, the ASCII Gantt chart and the CLI."""
+
+import io
+
+import pytest
+
+from repro.analysis.traces import ascii_gantt, result_to_trace, trace_to_csv
+from repro.cli import build_parser, main
+from repro.core.flow_time import RejectionFlowTimeScheduler
+from repro.exceptions import InvalidParameterError
+from repro.simulation.engine import FlowTimeEngine
+from repro.simulation.instance import Instance
+from repro.simulation.job import Job
+from repro.workloads.generators import InstanceGenerator
+
+
+@pytest.fixture
+def small_result():
+    instance = Instance.single_machine(
+        [Job(0, 0.0, (30.0,)), Job(1, 1.0, (1.0,)), Job(2, 2.0, (1.0,)), Job(3, 3.0, (2.0,))]
+    )
+    scheduler = RejectionFlowTimeScheduler(epsilon=0.5)
+    return FlowTimeEngine(instance).run(scheduler)
+
+
+class TestTraceExport:
+    def test_trace_is_chronological(self, small_result):
+        trace = result_to_trace(small_result)
+        times = [event.time for event in trace]
+        assert times == sorted(times)
+
+    def test_every_job_has_release_event(self, small_result):
+        trace = result_to_trace(small_result)
+        released = {e.job_id for e in trace if e.kind == "release"}
+        assert released == set(small_result.records)
+
+    def test_rejected_jobs_have_reject_events(self, small_result):
+        trace = result_to_trace(small_result)
+        rejected_in_trace = {e.job_id for e in trace if e.kind == "reject"}
+        rejected_in_result = {r.job_id for r in small_result.rejected_records()}
+        assert rejected_in_trace == rejected_in_result
+        assert rejected_in_result  # the workload above does force a Rule-1 rejection
+
+    def test_completion_events_carry_flow(self, small_result):
+        trace = result_to_trace(small_result)
+        completions = [e for e in trace if e.kind == "complete"]
+        assert completions and all(e.detail.startswith("flow=") for e in completions)
+
+    def test_csv_shape(self, small_result):
+        csv_text = trace_to_csv(small_result)
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "time,kind,job_id,machine,detail"
+        assert len(lines) == 1 + len(result_to_trace(small_result))
+
+    def test_event_as_dict(self, small_result):
+        event = result_to_trace(small_result)[0]
+        assert set(event.as_dict()) == {"time", "kind", "job_id", "machine", "detail"}
+
+
+class TestAsciiGantt:
+    def test_contains_one_row_per_machine(self):
+        instance = InstanceGenerator(num_machines=3, seed=0).generate(20)
+        result = FlowTimeEngine(instance).run(RejectionFlowTimeScheduler(epsilon=0.5))
+        chart = ascii_gantt(result)
+        assert chart.count("\n") >= 4  # header + 3 machines + footer
+        for machine in range(3):
+            assert f"m{machine}" in chart
+
+    def test_rejected_marked_with_x(self, small_result):
+        chart = ascii_gantt(small_result)
+        assert "x" in chart
+
+    def test_empty_schedule(self):
+        instance = Instance.build(1, [])
+        result = FlowTimeEngine(instance).run(RejectionFlowTimeScheduler(epsilon=0.5))
+        assert ascii_gantt(result) == "(empty schedule)"
+
+    def test_width_validation(self, small_result):
+        with pytest.raises(InvalidParameterError):
+            ascii_gantt(small_result, width=10)
+
+
+class TestCLI:
+    def _run(self, argv):
+        out = io.StringIO()
+        code = main(argv, out=out)
+        return code, out.getvalue()
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_bounds_command(self):
+        code, text = self._run(["bounds", "--epsilon", "0.25", "--alpha", "3"])
+        assert code == 0
+        assert "Theorem 1" in text and "50.000" in text
+        assert "Theorem 3" in text and "27.000" in text
+
+    def test_simulate_command(self):
+        code, text = self._run(
+            ["simulate", "--jobs", "30", "--machines", "2", "--epsilon", "0.5", "--gantt"]
+        )
+        assert code == 0
+        assert "total flow" in text
+        assert "m0" in text  # the Gantt chart was printed
+
+    def test_simulate_with_trace_and_other_policies(self):
+        for policy in ("greedy", "fcfs", "immediate"):
+            code, text = self._run(
+                ["simulate", "--jobs", "15", "--machines", "2", "--policy", policy, "--trace"]
+            )
+            assert code == 0
+            assert "time,kind,job_id,machine,detail" in text
+
+    def test_experiments_list(self):
+        code, text = self._run(["experiments", "--list"])
+        assert code == 0
+        assert "E1" in text and "E9" in text
+
+    def test_experiments_single_run(self):
+        code, text = self._run(["experiments", "--only", "E5"])
+        assert code == 0
+        assert "Lemma 2" in text

@@ -1,0 +1,37 @@
+"""Unit tests for :mod:`repro.utils.tabulate`."""
+
+import pytest
+
+from repro.utils.tabulate import format_table
+
+
+class TestFormatTable:
+    def test_contains_headers_and_cells(self):
+        text = format_table(["a", "b"], [[1, 2.5]])
+        assert "a" in text and "b" in text
+        assert "2.500" in text
+
+    def test_title_rendered(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_scientific_notation_for_extremes(self):
+        text = format_table(["v"], [[1e9]])
+        assert "e+" in text
+
+    def test_nan_rendered(self):
+        text = format_table(["v"], [[float("nan")]])
+        assert "nan" in text
+
+    def test_precision(self):
+        text = format_table(["v"], [[1.23456]], precision=1)
+        assert "1.2" in text and "1.23" not in text
+
+    def test_column_alignment(self):
+        text = format_table(["col"], [["short"], ["a-much-longer-cell"]])
+        lines = [line for line in text.splitlines() if line.startswith("|")]
+        assert len({len(line) for line in lines}) == 1

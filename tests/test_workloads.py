@@ -1,0 +1,166 @@
+"""Tests for arrival processes, size distributions, machine models and generators."""
+
+import math
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.workloads.arrival_processes import (
+    batched_arrivals,
+    bursty_arrivals,
+    deterministic_arrivals,
+    poisson_arrivals,
+)
+from repro.workloads.generators import (
+    DeadlineInstanceGenerator,
+    InstanceGenerator,
+    WeightedInstanceGenerator,
+)
+from repro.workloads.machine_models import (
+    identical_matrix,
+    restricted_assignment_matrix,
+    unrelated_matrix,
+    uniform_related_matrix,
+)
+from repro.workloads.processing_times import (
+    bimodal_sizes,
+    bounded_pareto_sizes,
+    exponential_sizes,
+    uniform_sizes,
+)
+
+
+class TestArrivalProcesses:
+    def test_poisson_count_and_monotone(self):
+        times = poisson_arrivals(50, rate=2.0, seed=0)
+        assert len(times) == 50
+        assert all(a <= b for a, b in zip(times, times[1:]))
+
+    def test_poisson_rate_controls_density(self):
+        slow = poisson_arrivals(200, rate=0.5, seed=1)[-1]
+        fast = poisson_arrivals(200, rate=5.0, seed=1)[-1]
+        assert fast < slow
+
+    def test_bursty_structure(self):
+        times = bursty_arrivals(60, rate_on=10.0, rate_off=0.1, burst_length=20, seed=2)
+        assert len(times) == 60 and all(a <= b for a, b in zip(times, times[1:]))
+
+    def test_batched(self):
+        times = batched_arrivals(9, batch_size=3, batch_gap=5.0)
+        assert times[:3] == [0.0, 0.0, 0.0]
+        assert times[3:6] == [5.0, 5.0, 5.0]
+
+    def test_deterministic(self):
+        assert deterministic_arrivals(3, gap=2.0, start=1.0) == [1.0, 3.0, 5.0]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            poisson_arrivals(5, rate=0.0)
+        with pytest.raises(InvalidParameterError):
+            batched_arrivals(5, batch_size=0, batch_gap=1.0)
+        with pytest.raises(InvalidParameterError):
+            bursty_arrivals(5, rate_on=1.0, rate_off=-1.0)
+
+
+class TestProcessingTimes:
+    def test_uniform_range(self):
+        sizes = uniform_sizes(100, low=2.0, high=3.0, seed=0)
+        assert all(2.0 <= p <= 3.0 for p in sizes)
+
+    def test_exponential_clipped(self):
+        sizes = exponential_sizes(100, mean=1.0, minimum=0.5, seed=0)
+        assert all(p >= 0.5 for p in sizes)
+
+    def test_pareto_bounded_and_heavy(self):
+        sizes = bounded_pareto_sizes(2000, shape=1.5, low=1.0, high=100.0, seed=0)
+        assert all(1.0 - 1e-9 <= p <= 100.0 + 1e-9 for p in sizes)
+        assert max(sizes) > 20.0  # the tail is actually exercised
+
+    def test_bimodal_values(self):
+        sizes = bimodal_sizes(500, short=1.0, long=50.0, long_fraction=0.2, seed=0)
+        assert set(sizes) == {1.0, 50.0}
+        long_count = sum(1 for p in sizes if p == 50.0)
+        assert 0.1 <= long_count / 500 <= 0.3
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            uniform_sizes(5, low=0.0, high=1.0)
+        with pytest.raises(InvalidParameterError):
+            bounded_pareto_sizes(5, low=2.0, high=1.0)
+        with pytest.raises(InvalidParameterError):
+            bimodal_sizes(5, long_fraction=1.5)
+
+
+class TestMachineModels:
+    def test_identical(self):
+        rows = identical_matrix([2.0, 3.0], num_machines=3)
+        assert rows[0] == (2.0, 2.0, 2.0)
+
+    def test_related_has_unit_reference(self):
+        rows = uniform_related_matrix([4.0], num_machines=3, seed=0)
+        assert rows[0][0] == pytest.approx(4.0)
+
+    def test_unrelated_correlation_one_is_identical(self):
+        rows = unrelated_matrix([2.0, 3.0], num_machines=3, correlation=1.0, seed=0)
+        assert rows == identical_matrix([2.0, 3.0], 3)
+
+    def test_unrelated_entries_positive(self):
+        rows = unrelated_matrix([2.0] * 50, num_machines=4, correlation=0.2, seed=1)
+        assert all(all(p > 0 for p in row) for row in rows)
+
+    def test_restricted_has_at_least_one_eligible(self):
+        rows = restricted_assignment_matrix([1.0] * 100, num_machines=4, eligible_fraction=0.2, seed=3)
+        assert all(any(math.isfinite(p) for p in row) for row in rows)
+        assert any(any(math.isinf(p) for p in row) for row in rows)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            unrelated_matrix([1.0], num_machines=0)
+        with pytest.raises(InvalidParameterError):
+            restricted_assignment_matrix([1.0], num_machines=2, eligible_fraction=0.0)
+
+
+class TestGenerators:
+    def test_reproducible(self):
+        a = InstanceGenerator(num_machines=2, seed=5).generate(30)
+        b = InstanceGenerator(num_machines=2, seed=5).generate(30)
+        assert a.to_dict() == b.to_dict()
+
+    def test_different_seeds_differ(self):
+        a = InstanceGenerator(num_machines=2, seed=5).generate(30)
+        b = InstanceGenerator(num_machines=2, seed=6).generate(30)
+        assert a.to_dict() != b.to_dict()
+
+    def test_job_count_and_machines(self):
+        instance = InstanceGenerator(num_machines=3, seed=0).generate(25)
+        assert instance.num_jobs == 25 and instance.num_machines == 3
+
+    def test_load_rescaling(self):
+        low = InstanceGenerator(num_machines=2, load=0.4, seed=1).generate(200)
+        high = InstanceGenerator(num_machines=2, load=1.2, seed=1).generate(200)
+        assert sum(j.min_size() for j in high.jobs) > sum(j.min_size() for j in low.jobs)
+
+    def test_weighted_generator(self):
+        instance = WeightedInstanceGenerator(
+            num_machines=2, weight_low=1.0, weight_high=3.0, seed=2
+        ).generate(40)
+        assert all(1.0 <= job.weight <= 3.0 for job in instance.jobs)
+        assert all(m.alpha == pytest.approx(2.5) for m in instance.machines)
+
+    def test_deadline_generator_windows(self):
+        instance = DeadlineInstanceGenerator(num_machines=2, slack=4.0, seed=3).generate(30)
+        assert instance.has_deadlines()
+        for job in instance.jobs:
+            assert job.window() >= 1.99 * job.min_size()  # slack 4 with +-50% jitter
+
+    def test_deadline_generator_requires_slack(self):
+        with pytest.raises(InvalidParameterError):
+            DeadlineInstanceGenerator(slack=1.0).generate(5)
+
+    def test_invalid_configuration(self):
+        with pytest.raises(InvalidParameterError):
+            InstanceGenerator(arrival_process="fractal")
+        with pytest.raises(InvalidParameterError):
+            InstanceGenerator(size_distribution="cauchy")
+        with pytest.raises(InvalidParameterError):
+            InstanceGenerator(machine_model="quantum")
