@@ -1,0 +1,84 @@
+"""Benchmark E10 — campaign runner: parallel fan-out vs the sequential path.
+
+Runs the same grid of E8-scale simulation tasks (several seeds of the
+scalability experiment) three ways — sequentially, with a 4-worker process
+pool, and again fully cached — and records the wall-clock comparison.  On a
+multi-core machine the pool approaches ``min(workers, tasks)``-fold speedup
+because the tasks are embarrassingly parallel and workers only compute (the
+parent writes all artifacts); on a single core it documents the fork/IPC
+overhead instead.  The cached re-run should be near-instant regardless.
+"""
+
+from __future__ import annotations
+
+import shutil
+import time
+
+from repro.campaigns import ArtifactStore, CampaignRunner, CampaignTask, render_campaign_report
+from repro.utils.rng import seeds_for
+
+WORKERS = 4
+NUM_SEEDS = 4
+
+#: E8-scale per-task work: one scalability sweep per seed.
+E8_OVERRIDES = dict(job_counts=(500,), machine_counts=(4,), repeats=1)
+
+
+def _bench_tasks() -> list[CampaignTask]:
+    labels = [f"E8/bench/{i}" for i in range(NUM_SEEDS)]
+    return [
+        CampaignTask.create("E8", variant="bench", seed=seed, overrides=E8_OVERRIDES)
+        for seed in seeds_for(2018, labels).values()
+    ]
+
+
+def _timed_run(store_root, workers: int) -> tuple[float, object]:
+    shutil.rmtree(store_root, ignore_errors=True)
+    store = ArtifactStore(store_root)
+    runner = CampaignRunner(store, workers=workers)
+    start = time.perf_counter()
+    summary = runner.run(_bench_tasks())
+    return time.perf_counter() - start, (store, summary)
+
+
+def test_e10_campaign_speedup(benchmark, report_sink, tmp_path_factory):
+    """Compare sequential, parallel and cached campaign execution."""
+    seq_root = tmp_path_factory.mktemp("campaign-seq")
+    par_root = tmp_path_factory.mktemp("campaign-par")
+
+    seq_time, (seq_store, seq_summary) = _timed_run(seq_root / "store", workers=1)
+    par_time, (par_store, par_summary) = benchmark.pedantic(
+        lambda: _timed_run(par_root / "store", workers=WORKERS), rounds=1, iterations=1
+    )
+
+    # Re-run against the populated store: everything must come from cache.
+    cached_start = time.perf_counter()
+    cached_summary = CampaignRunner(par_store, workers=WORKERS).run(_bench_tasks())
+    cached_time = time.perf_counter() - cached_start
+
+    assert seq_summary.computed == par_summary.computed == NUM_SEEDS
+    assert cached_summary.cached == NUM_SEEDS and cached_summary.computed == 0
+    assert sorted(seq_store.keys()) == sorted(par_store.keys())
+
+    speedup = seq_time / par_time if par_time > 0 else float("inf")
+    report_sink(
+        "# E10: campaign runner, {} E8-scale tasks\n"
+        "sequential: {:.2f}s   parallel({} workers): {:.2f}s   speedup: {:.2f}x\n"
+        "cached re-run: {:.3f}s ({} cache hits)".format(
+            NUM_SEEDS, seq_time, WORKERS, par_time, speedup, cached_time,
+            cached_summary.cached
+        )
+    )
+    report_sink(render_campaign_report(par_store, _bench_tasks()))
+
+
+def test_e10_cached_rerun_is_fast(benchmark, tmp_path_factory):
+    """A fully cached campaign re-run avoids all simulation work."""
+    root = tmp_path_factory.mktemp("campaign-cache") / "store"
+    store = ArtifactStore(root)
+    CampaignRunner(store, workers=1).run(_bench_tasks())
+
+    summary = benchmark.pedantic(
+        lambda: CampaignRunner(store, workers=1).run(_bench_tasks()), rounds=3, iterations=1
+    )
+    assert summary.cached == NUM_SEEDS and summary.computed == 0

@@ -1,7 +1,8 @@
 """Setuptools entry point.
 
-Kept alongside ``pyproject.toml`` so the package installs in environments
-without the ``wheel`` package (legacy editable installs).
+The canonical package metadata lives in ``pyproject.toml``; this shim is kept
+for legacy editable installs (``pip install -e .`` on old pip) and mirrors
+the same metadata.
 """
 
 from setuptools import find_packages, setup
@@ -17,4 +18,5 @@ setup(
     packages=find_packages(where="src"),
     python_requires=">=3.10",
     install_requires=["numpy>=1.23", "scipy>=1.9"],
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
 )

@@ -1,0 +1,149 @@
+"""Named campaign grids: (experiment × config variant × seed) task sets.
+
+A grid expands into concrete :class:`~repro.campaigns.tasks.CampaignTask`
+instances with deterministic per-task seeds derived from one master seed via
+:func:`repro.utils.rng.seeds_for` — so the task set (and therefore every
+artifact key) is a pure function of ``(grid name, master seed)``.  Experiments
+whose configs have no ``seed`` knob (the deterministic constructions E2 and
+E5) contribute exactly one task per variant.
+
+Shipped grids:
+
+* ``smoke``  — E1 only, one seed; used by the test suite;
+* ``small``  — all of E1–E9 at miniature sweep sizes, two seeds; finishes in
+  well under a minute and is the acceptance grid for ``repro campaign run``;
+* ``medium`` — the experiments' default sweep sizes, three seeds; the
+  campaign analogue of the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.campaigns.tasks import CampaignTask
+from repro.exceptions import InvalidParameterError
+from repro.experiments.registry import get_spec
+from repro.utils.rng import seeds_for
+
+DEFAULT_MASTER_SEED = 2018
+
+
+@dataclass(frozen=True)
+class GridEntry:
+    """One experiment variant inside a grid."""
+
+    experiment_id: str
+    variant: str = "default"
+    overrides: tuple[tuple[str, Any], ...] = ()
+    num_seeds: int = 1
+
+    @classmethod
+    def create(
+        cls,
+        experiment_id: str,
+        variant: str = "default",
+        overrides: Mapping[str, Any] | None = None,
+        num_seeds: int = 1,
+    ) -> "GridEntry":
+        return cls(
+            experiment_id=experiment_id.upper(),
+            variant=variant,
+            overrides=tuple(sorted((overrides or {}).items())),
+            num_seeds=num_seeds,
+        )
+
+
+@dataclass(frozen=True)
+class CampaignGrid:
+    """A named, fully deterministic set of campaign tasks."""
+
+    name: str
+    description: str
+    entries: tuple[GridEntry, ...]
+
+    def tasks(self, master_seed: int = DEFAULT_MASTER_SEED) -> list[CampaignTask]:
+        """Expand the grid into concrete tasks with derived per-task seeds."""
+        tasks: list[CampaignTask] = []
+        for entry in self.entries:
+            spec = get_spec(entry.experiment_id)
+            overrides = dict(entry.overrides)
+            if not spec.accepts_seed():
+                tasks.append(
+                    CampaignTask.create(
+                        entry.experiment_id, entry.variant, seed=None, overrides=overrides
+                    )
+                )
+                continue
+            labels = [
+                f"{entry.experiment_id}/{entry.variant}/{index}"
+                for index in range(entry.num_seeds)
+            ]
+            for label, seed in seeds_for(master_seed, labels).items():
+                tasks.append(
+                    CampaignTask.create(
+                        entry.experiment_id, entry.variant, seed=seed, overrides=overrides
+                    )
+                )
+        return tasks
+
+
+def _grid(name: str, description: str, entries: list[GridEntry]) -> CampaignGrid:
+    return CampaignGrid(name=name, description=description, entries=tuple(entries))
+
+
+#: Miniature sweep sizes mirroring the test suite's "runs in seconds" configs.
+_SMALL_OVERRIDES: dict[str, dict[str, Any]] = {
+    "E1": {"epsilons": (0.25, 0.5), "workloads": ("poisson-pareto",)},
+    "E2": {"lengths": (4.0, 8.0), "epsilon": 0.25},
+    "E3": {"alphas": (2.0,), "epsilons": (0.5,), "num_jobs": 40},
+    "E4": {"alphas": (2.0,), "slacks": (3.0,), "num_jobs": 8},
+    "E5": {"alphas": (2.0, 3.0)},
+    "E6": {"epsilons": (0.5,), "workloads": ("poisson-pareto",)},
+    "E7": {"epsilons": (0.5,), "num_jobs": 25, "samples_per_job": 6},
+    "E8": {"job_counts": (200,), "machine_counts": (2,)},
+    "E9": {"workloads": ("lemma1-L16",), "epsilon": 0.25},
+}
+
+GRIDS: dict[str, CampaignGrid] = {
+    grid.name: grid
+    for grid in (
+        _grid(
+            "smoke",
+            "E1 only at miniature scale, one seed (test grid)",
+            [
+                GridEntry.create(
+                    "E1", overrides=_SMALL_OVERRIDES["E1"], num_seeds=1
+                )
+            ],
+        ),
+        _grid(
+            "small",
+            "all experiments E1-E9 at miniature scale, two seeds each",
+            [
+                GridEntry.create(exp_id, overrides=overrides, num_seeds=2)
+                for exp_id, overrides in _SMALL_OVERRIDES.items()
+            ],
+        ),
+        _grid(
+            "medium",
+            "all experiments E1-E9 at their default sweep sizes, three seeds each",
+            [GridEntry.create(exp_id, num_seeds=3) for exp_id in _SMALL_OVERRIDES],
+        ),
+    )
+}
+
+
+def available_grids() -> dict[str, str]:
+    """Mapping of grid name to its one-line description."""
+    return {name: grid.description for name, grid in GRIDS.items()}
+
+
+def get_grid(name: str) -> CampaignGrid:
+    """Look up a grid by name."""
+    grid = GRIDS.get(name)
+    if grid is None:
+        raise InvalidParameterError(
+            f"unknown grid {name!r}; available: {sorted(GRIDS)}"
+        )
+    return grid

@@ -1,0 +1,86 @@
+"""Content-addressed artifact store: one canonical-JSON file per task.
+
+Artifacts live under ``<root>/<key[:2]>/<key>.json`` where ``key`` is the
+task's content hash (see :meth:`CampaignTask.key`).  Because the payload is
+written as canonical JSON, re-running an identical task produces a
+byte-identical file — which is what makes cache hits trustworthy: same key
+⇒ same config ⇒ same (deterministic) result.
+
+Writes go through a temp file + ``os.replace`` so a crashed or interrupted
+campaign never leaves a half-written artifact behind; a resumed run simply
+recomputes the missing keys.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Iterator
+
+from repro.exceptions import InvalidParameterError
+from repro.utils.serialization import canonical_json
+
+
+class ArtifactStore:
+    """A directory of content-addressed JSON artifacts."""
+
+    def __init__(self, root: "str | Path"):
+        self.root = Path(root)
+
+    def path_for(self, key: str) -> Path:
+        """Filesystem path of the artifact with content hash ``key``."""
+        if not key or any(ch not in "0123456789abcdef" for ch in key):
+            raise InvalidParameterError(f"malformed artifact key {key!r}")
+        return self.root / key[:2] / f"{key}.json"
+
+    def has(self, key: str) -> bool:
+        """Whether an artifact for ``key`` exists."""
+        return self.path_for(key).is_file()
+
+    def load(self, key: str) -> dict:
+        """Read and decode the artifact for ``key``."""
+        path = self.path_for(key)
+        if not path.is_file():
+            raise InvalidParameterError(f"no artifact for key {key!r} under {self.root}")
+        with path.open("r", encoding="utf-8") as handle:
+            return json.load(handle)
+
+    def save(self, key: str, payload: dict) -> Path:
+        """Write ``payload`` as the artifact for ``key`` (atomic, canonical).
+
+        The temp name is unique per writer so concurrent campaigns sharing a
+        store cannot interleave partial writes; last published file wins, and
+        both writers produce identical bytes for a given key anyway.
+        """
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        text = canonical_json(payload, indent=2) + "\n"
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f"{key}.", suffix=".tmp", dir=path.parent
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(tmp_name, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp_name)
+            raise
+        return path
+
+    def keys(self) -> Iterator[str]:
+        """All artifact keys currently in the store, sorted."""
+        if not self.root.is_dir():
+            return iter(())
+        found = sorted(
+            path.stem
+            for path in self.root.glob("??/*.json")
+            if len(path.stem) >= 8
+        )
+        return iter(found)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())

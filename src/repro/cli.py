@@ -1,16 +1,19 @@
 """Command-line interface.
 
-Three subcommands cover the common workflows::
+Four subcommands cover the common workflows::
 
     python -m repro experiments --only E1 E2 --scale small
     python -m repro simulate --jobs 200 --machines 4 --epsilon 0.5 --policy theorem1 --gantt
     python -m repro bounds --epsilon 0.25 --alpha 3
+    python -m repro campaign run --grid small --workers 4
 
 * ``experiments`` regenerates experiment tables (same engine as the benchmark
   harness and ``examples/reproduce_experiments.py``).
 * ``simulate`` generates a random workload, runs one of the flow-time policies
   and prints the summary (optionally an ASCII Gantt chart and a CSV trace).
 * ``bounds`` prints the paper's closed-form guarantees for given parameters.
+* ``campaign`` runs (experiment × variant × seed) grids in parallel against a
+  cached artifact store and aggregates the results (``run``/``list``/``report``).
 """
 
 from __future__ import annotations
@@ -73,6 +76,38 @@ def build_parser() -> argparse.ArgumentParser:
     bounds.add_argument("--epsilon", type=float, default=0.5)
     bounds.add_argument("--alpha", type=float, default=3.0)
 
+    campaign = subparsers.add_parser(
+        "campaign", help="run experiment grids in parallel with a cached artifact store"
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    def _common_campaign_args(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--grid", default="small", help="grid name (see `campaign list`)")
+        sub.add_argument("--store", default="campaign-artifacts",
+                         help="artifact store directory")
+        sub.add_argument("--master-seed", type=int, default=None,
+                         help="master seed the per-task seeds are derived from")
+        sub.add_argument("--csv", metavar="DIR", default=None,
+                         help="also export the aggregated tables as CSV files into DIR")
+
+    campaign_run = campaign_sub.add_parser(
+        "run", help="run a grid, skipping tasks whose artifacts are cached"
+    )
+    _common_campaign_args(campaign_run)
+    campaign_run.add_argument("--workers", type=int, default=1,
+                              help="worker processes (1 = in-process sequential)")
+    campaign_run.add_argument("--quiet", action="store_true",
+                              help="suppress per-task progress lines")
+
+    campaign_list = campaign_sub.add_parser("list", help="list grids (or one grid's tasks)")
+    campaign_list.add_argument("--grid", default=None, help="show the tasks of this grid")
+    campaign_list.add_argument("--master-seed", type=int, default=None)
+
+    campaign_report = campaign_sub.add_parser(
+        "report", help="aggregate already-stored artifacts without running anything"
+    )
+    _common_campaign_args(campaign_report)
+
     return parser
 
 
@@ -122,6 +157,64 @@ def _cmd_simulate(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _campaign_tasks(args: argparse.Namespace):
+    from repro.campaigns import DEFAULT_MASTER_SEED, get_grid
+
+    master_seed = args.master_seed if args.master_seed is not None else DEFAULT_MASTER_SEED
+    return get_grid(args.grid).tasks(master_seed=master_seed)
+
+
+def _cmd_campaign(args: argparse.Namespace, out) -> int:
+    from repro.analysis.reporting import render_report
+    from repro.campaigns import (
+        ArtifactStore,
+        CampaignRunner,
+        aggregate_tables,
+        available_grids,
+        export_csv,
+        summary_table,
+    )
+
+    if args.campaign_command == "list":
+        if args.grid is None:
+            for name, description in available_grids().items():
+                print(f"{name}: {description}", file=out)
+            return 0
+        for task in _campaign_tasks(args):
+            print(f"{task.label} [{task.key()}]", file=out)
+        return 0
+
+    store = ArtifactStore(args.store)
+    tasks = _campaign_tasks(args)
+
+    if args.campaign_command == "run":
+        runner = CampaignRunner(store, workers=args.workers)
+        progress = None if args.quiet else (lambda line: print(line, file=out))
+        summary = runner.run(tasks, progress=progress)
+        print(summary.describe(), file=out)
+        print("", file=out)
+        print(summary_table(summary.outcomes).render(), file=out)
+        print("", file=out)
+    else:  # report
+        missing = [task.label for task in tasks if not store.has(task.key())]
+        if missing:
+            print(
+                f"error: {len(missing)} task artifact(s) missing from {args.store} "
+                f"(e.g. {missing[0]}); run `repro campaign run --grid {args.grid}` first",
+                file=out,
+            )
+            return 1
+
+    tables = aggregate_tables(store, tasks)
+    print(render_report(tables, header=f"# campaign: grid {args.grid!r}"), file=out)
+    if args.csv:
+        written = export_csv(tables, args.csv)
+        print("", file=out)
+        for path in written:
+            print(f"csv: {path}", file=out)
+    return 0
+
+
 def _cmd_bounds(args: argparse.Namespace, out) -> int:
     print(f"epsilon = {args.epsilon}, alpha = {args.alpha}", file=out)
     print(
@@ -155,6 +248,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _cmd_experiments(args, out)
     if args.command == "simulate":
         return _cmd_simulate(args, out)
+    if args.command == "campaign":
+        return _cmd_campaign(args, out)
     return _cmd_bounds(args, out)
 
 

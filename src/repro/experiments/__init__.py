@@ -14,15 +14,25 @@ the examples do.
 """
 
 from repro.experiments.registry import (
-    ExperimentResult,
-    run_experiment,
-    available_experiments,
     EXPERIMENTS,
+    ExperimentResult,
+    ExperimentRunUnit,
+    ExperimentSpec,
+    available_experiments,
+    get_spec,
+    make_config,
+    run_config,
+    run_experiment,
 )
 
 __all__ = [
-    "ExperimentResult",
-    "run_experiment",
-    "available_experiments",
     "EXPERIMENTS",
+    "ExperimentResult",
+    "ExperimentRunUnit",
+    "ExperimentSpec",
+    "available_experiments",
+    "get_spec",
+    "make_config",
+    "run_config",
+    "run_experiment",
 ]

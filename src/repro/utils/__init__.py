@@ -1,4 +1,5 @@
-"""Shared utilities: deterministic RNG handling, numeric helpers, tabulation."""
+"""Shared utilities: deterministic RNG handling, numeric helpers, tabulation,
+canonical serialisation."""
 
 from repro.utils.rng import make_rng, spawn_rngs
 from repro.utils.numeric import (
@@ -9,11 +10,16 @@ from repro.utils.numeric import (
     harmonic_mean,
     safe_ratio,
 )
+from repro.utils.serialization import canonical_json, jsonify, stable_hash, tuplify
 from repro.utils.tabulate import format_table
 
 __all__ = [
     "make_rng",
     "spawn_rngs",
+    "canonical_json",
+    "jsonify",
+    "stable_hash",
+    "tuplify",
     "EPS",
     "is_close",
     "ceil_div",
