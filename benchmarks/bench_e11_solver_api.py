@@ -1,0 +1,95 @@
+"""Benchmark E11 — dispatch overhead of the ``repro.solve()`` facade.
+
+The unified solver API must be free in practice: looking an algorithm up in
+the registry, validating its parameters against the schema and packaging the
+uniform :class:`~repro.solvers.outcome.SolveOutcome` may not add more than 5%
+on top of invoking the engine directly.  Measured on a 500-job instance so
+the comparison reflects real workloads, not just fixed costs.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.flow_time import RejectionFlowTimeScheduler
+from repro.simulation.engine import FlowTimeEngine
+from repro.solvers import get_solver, solve
+from repro.workloads.generators import InstanceGenerator
+
+NUM_JOBS = 500
+EPSILON = 0.5
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return InstanceGenerator(num_machines=8, seed=11, size_distribution="pareto").generate(
+        NUM_JOBS
+    )
+
+
+def _best_runtime(fn, repeats: int = 7) -> float:
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def test_e11_solve_facade(benchmark, instance):
+    """Time a full ``repro.solve()`` call (registry lookup + engine + outcome)."""
+    outcome = benchmark(lambda: solve(instance, "rejection-flow", epsilon=EPSILON))
+    assert len(outcome.result.records) == NUM_JOBS
+
+
+def test_e11_direct_engine(benchmark, instance):
+    """Time the equivalent direct engine invocation (the pre-registry API)."""
+    engine = FlowTimeEngine(instance)
+    result = benchmark(lambda: engine.run(RejectionFlowTimeScheduler(epsilon=EPSILON)))
+    assert len(result.records) == NUM_JOBS
+
+
+def test_e11_dispatch_overhead_under_5_percent(instance):
+    """The facade's dispatch overhead stays below 5% of the direct run."""
+    engine = FlowTimeEngine(instance)
+
+    def direct():
+        return engine.run(RejectionFlowTimeScheduler(epsilon=EPSILON))
+
+    def facade():
+        return solve(instance, "rejection-flow", epsilon=EPSILON)
+
+    # Warm both paths (catalog import, bytecode, allocator) before timing.
+    direct()
+    facade()
+    # Measure in adjacent (direct, facade) pairs and take the best per-round
+    # ratio: background load hits both halves of a pair almost equally, so at
+    # least one round reflects the code paths rather than scheduler noise.
+    # (Unpaired min-vs-min still flakes on busy CI boxes.)
+    best_overhead = float("inf")
+    best_pair = (0.0, 0.0)
+    for _ in range(11):
+        direct_time = _best_runtime(direct, repeats=1)
+        facade_time = _best_runtime(facade, repeats=1)
+        overhead = facade_time / direct_time - 1.0
+        if overhead < best_overhead:
+            best_overhead = overhead
+            best_pair = (direct_time, facade_time)
+    direct_time, facade_time = best_pair
+    # 5% relative budget with a 1ms absolute floor so sub-millisecond jitter
+    # on a fast machine cannot fail the check spuriously.
+    assert best_overhead < 0.05 or facade_time - direct_time < 1e-3, (
+        f"solve() overhead {best_overhead:.1%} (facade {facade_time * 1e3:.2f}ms "
+        f"vs direct {direct_time * 1e3:.2f}ms) exceeds the 5% budget"
+    )
+
+
+def test_e11_validation_is_prepaid(instance):
+    """Parameter validation alone is microseconds — negligible next to a run."""
+    spec = get_solver("rejection-flow")
+    validated = spec.validate_params({"epsilon": EPSILON})
+    assert validated["epsilon"] == EPSILON
+    per_call = _best_runtime(lambda: spec.validate_params({"epsilon": EPSILON}), repeats=5)
+    assert per_call < 1e-3

@@ -1,24 +1,28 @@
 #!/usr/bin/env python3
 """Quickstart: schedule a random workload with the paper's flow-time algorithm.
 
-This example builds a small random unrelated-machine instance, runs the
-Theorem 1 scheduler (rejection parameter ``epsilon``), validates the produced
-schedule, and prints the headline numbers next to the rejection-free greedy
-baseline and the paper's theoretical guarantee.
+This example builds a small random unrelated-machine instance and runs the
+Theorem 1 scheduler (rejection parameter ``epsilon``) next to the
+rejection-free greedy baseline — both through ``repro.solve()``, the
+algorithm-agnostic entry point backed by the solver registry — then prints
+the headline numbers next to the paper's theoretical guarantee.
 
 Run with::
 
     python examples/quickstart.py [--jobs 300] [--machines 4] [--epsilon 0.5]
+
+``repro.list_algorithms()`` (or ``repro solve --list-algorithms``) shows
+every other algorithm id you can pass instead of ``rejection-flow``.
 """
 
 from __future__ import annotations
 
 import argparse
 
-from repro import FlowTimeEngine, RejectionFlowTimeScheduler, summarize, validate_result
-from repro.baselines import GreedyDispatchScheduler
+import repro
 from repro.core.bounds import flow_time_competitive_ratio, flow_time_rejection_budget
 from repro.lowerbounds import best_flow_time_lower_bound
+from repro.simulation.validation import validate_result
 from repro.workloads import InstanceGenerator
 
 
@@ -39,31 +43,27 @@ def main() -> None:
     instance = generator.generate(args.jobs)
     print(f"instance: {instance.name}  (Delta = {instance.delta():.1f})")
 
-    engine = FlowTimeEngine(instance)
     lower_bound = best_flow_time_lower_bound(instance)
 
-    scheduler = RejectionFlowTimeScheduler(epsilon=args.epsilon)
-    result = engine.run(scheduler)
-    validate_result(result)
-    stats = summarize(result)
+    outcome = repro.solve(instance, algorithm="rejection-flow", epsilon=args.epsilon)
+    validate_result(outcome.result)
 
-    baseline = engine.run(GreedyDispatchScheduler())
-    baseline_stats = summarize(baseline)
+    baseline = repro.solve(instance, algorithm="greedy")
 
-    print(f"\n{scheduler.name}")
-    print(f"  total flow time      : {stats.total_flow_time:12.1f}")
-    print(f"  rejected fraction    : {stats.rejected_fraction:12.3f}"
+    print(f"\n{outcome.label}")
+    print(f"  total flow time      : {outcome.objective_value:12.1f}")
+    print(f"  rejected fraction    : {outcome.rejected_fraction:12.3f}"
           f"   (budget 2*eps = {flow_time_rejection_budget(args.epsilon):.3f})")
-    print(f"  ratio vs lower bound : {stats.total_flow_time / lower_bound:12.2f}"
+    print(f"  ratio vs lower bound : {outcome.objective_value / lower_bound:12.2f}"
           f"   (paper bound = {flow_time_competitive_ratio(args.epsilon):.1f})")
 
-    print(f"\n{baseline.algorithm}")
-    print(f"  total flow time      : {baseline_stats.total_flow_time:12.1f}")
-    print(f"  ratio vs lower bound : {baseline_stats.total_flow_time / lower_bound:12.2f}")
+    print(f"\n{baseline.label}")
+    print(f"  total flow time      : {baseline.objective_value:12.1f}")
+    print(f"  ratio vs lower bound : {baseline.objective_value / lower_bound:12.2f}")
 
-    improvement = baseline_stats.total_flow_time / max(stats.total_flow_time, 1e-9)
-    print(f"\nrejecting {stats.rejected_count} of {stats.num_jobs} jobs reduced total "
-          f"flow time by a factor of {improvement:.2f}")
+    improvement = baseline.objective_value / max(outcome.objective_value, 1e-9)
+    print(f"\nrejecting {outcome.rejected_count} of {len(outcome.result.records)} jobs "
+          f"reduced total flow time by a factor of {improvement:.2f}")
 
 
 if __name__ == "__main__":

@@ -9,7 +9,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.0.0",
+    version="1.1.0",
     description=(
         "Online non-preemptive scheduling on unrelated machines with rejections "
         "(SPAA 2018) - full reproduction"

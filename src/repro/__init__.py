@@ -11,21 +11,27 @@ contains:
 * :mod:`repro.baselines` — reference schedulers the experiments compare
   against (greedy without rejection, immediate rejection, speed augmentation,
   SRPT, HDF, AVR, YDS, offline heuristics);
+* :mod:`repro.solvers` — the string-keyed solver registry behind
+  :func:`repro.solve`, the algorithm-agnostic entry point to every scheduler;
 * :mod:`repro.lowerbounds` — certified lower bounds on the offline optimum;
 * :mod:`repro.workloads` — synthetic workload generators, including the
   adversarial constructions of Lemma 1 and Lemma 2;
 * :mod:`repro.analysis` — competitive-ratio estimation and report tables;
-* :mod:`repro.experiments` — the experiment suite (E1-E9) that plays the
+* :mod:`repro.experiments` — the experiment suite (E1-E10) that plays the
   role of the paper's tables and figures.
 
 Quickstart
 ----------
 
->>> from repro import quick_instance, RejectionFlowTimeScheduler, FlowTimeEngine
->>> instance = quick_instance(num_jobs=50, num_machines=4, seed=0)
->>> result = FlowTimeEngine(instance).run(RejectionFlowTimeScheduler(epsilon=0.5))
->>> result.makespan() > 0
+>>> import repro
+>>> instance = repro.quick_instance(num_jobs=50, num_machines=4, seed=0)
+>>> outcome = repro.solve(instance, algorithm="rejection-flow", epsilon=0.5)
+>>> outcome.objective_value > 0 and outcome.rejected_fraction <= 2 * 0.5
 True
+
+``repro.list_algorithms()`` (or ``repro solve --list-algorithms`` on the
+command line) enumerates every registered scheduler with its execution model,
+objective and parameter schema.
 """
 
 from repro.simulation import (
@@ -35,6 +41,8 @@ from repro.simulation import (
     FlowTimeEngine,
     SpeedScalingEngine,
     SimulationResult,
+    run_policy,
+    run_speed_policy,
     summarize,
     validate_result,
 )
@@ -45,8 +53,15 @@ from repro.core import (
     FlowTimeDualAccountant,
     EnergyFlowDualAccountant,
 )
+from repro.solvers import (
+    SolveOutcome,
+    available_algorithms,
+    list_algorithms,
+    make_policy,
+    solve,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 
 def quick_instance(num_jobs: int = 50, num_machines: int = 4, seed: int | None = 0, **kwargs):
@@ -69,6 +84,7 @@ __all__ = [
     "FlowTimeEngine",
     "SpeedScalingEngine",
     "SimulationResult",
+    "SolveOutcome",
     "summarize",
     "validate_result",
     "RejectionFlowTimeScheduler",
@@ -76,6 +92,12 @@ __all__ = [
     "ConfigLPEnergyScheduler",
     "FlowTimeDualAccountant",
     "EnergyFlowDualAccountant",
+    "available_algorithms",
+    "list_algorithms",
+    "make_policy",
     "quick_instance",
+    "run_policy",
+    "run_speed_policy",
+    "solve",
     "__version__",
 ]

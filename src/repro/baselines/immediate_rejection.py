@@ -18,7 +18,8 @@ from __future__ import annotations
 
 from repro.core.ordering import spt_key
 from repro.exceptions import InvalidParameterError
-from repro.simulation.engine import ArrivalDecision, FlowTimePolicy
+from repro.simulation.decisions import ArrivalDecision
+from repro.simulation.engine import FlowTimePolicy
 from repro.simulation.instance import Instance
 from repro.simulation.job import Job
 from repro.simulation.state import EngineState

@@ -1,7 +1,7 @@
 """Parallel experiment campaigns with a cached artifact store.
 
-This package scales the experiment suite from "run E1–E9 sequentially and
-print tables" to re-runnable (experiment × variant × seed) grids:
+This package scales the experiment suite from "run E1–E10 sequentially and
+print tables" to re-runnable (experiment × variant × seed × algorithm) grids:
 
 * :mod:`~repro.campaigns.grids` names deterministic task grids;
 * :mod:`~repro.campaigns.tasks` defines picklable tasks and their
@@ -28,6 +28,7 @@ from repro.campaigns.grids import (
     GRIDS,
     CampaignGrid,
     GridEntry,
+    algorithm_axis,
     available_grids,
     get_grid,
 )
@@ -54,6 +55,7 @@ __all__ = [
     "GridEntry",
     "TaskOutcome",
     "aggregate_tables",
+    "algorithm_axis",
     "available_grids",
     "export_csv",
     "get_grid",

@@ -7,23 +7,33 @@ artifact key) is a pure function of ``(grid name, master seed)``.  Experiments
 whose configs have no ``seed`` knob (the deterministic constructions E2 and
 E5) contribute exactly one task per variant.
 
+Besides the (experiment × variant × seed) axes, grids can sweep *algorithms*:
+:func:`algorithm_axis` expands a list of solver-registry ids into one entry
+per algorithm (variant = algorithm id) on top of experiment E10, which runs
+each algorithm through ``repro.solve()`` — so campaigns compare schedulers
+the same way they compare experiment configurations.
+
 Shipped grids:
 
-* ``smoke``  — E1 only, one seed; used by the test suite;
-* ``small``  — all of E1–E9 at miniature sweep sizes, two seeds; finishes in
-  well under a minute and is the acceptance grid for ``repro campaign run``;
-* ``medium`` — the experiments' default sweep sizes, three seeds; the
-  campaign analogue of the benchmark harness.
+* ``smoke``   — E1 only, one seed; used by the test suite;
+* ``small``   — all of E1–E10 at miniature sweep sizes, two seeds; finishes
+  in well under a minute and is the acceptance grid for ``repro campaign run``;
+* ``medium``  — the experiments' default sweep sizes, three seeds; the
+  campaign analogue of the benchmark harness;
+* ``solvers`` — the algorithm axis: one task per registered flow-time
+  algorithm, two seeds each, aggregated into per-algorithm report rows.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Mapping
+from typing import Any, Mapping, Sequence
 
 from repro.campaigns.tasks import CampaignTask
 from repro.exceptions import InvalidParameterError
+from repro.experiments.exp_solver_compare import SolverCompareConfig
 from repro.experiments.registry import get_spec
+from repro.solvers import get_solver
 from repro.utils.rng import seeds_for
 
 DEFAULT_MASTER_SEED = 2018
@@ -92,6 +102,34 @@ def _grid(name: str, description: str, entries: list[GridEntry]) -> CampaignGrid
     return CampaignGrid(name=name, description=description, entries=tuple(entries))
 
 
+def algorithm_axis(
+    algorithms: Sequence[str],
+    base_overrides: Mapping[str, Any] | None = None,
+    num_seeds: int = 1,
+    experiment_id: str = "E10",
+) -> list[GridEntry]:
+    """Expand solver-registry ids into one grid entry per algorithm.
+
+    Each entry runs ``experiment_id`` (E10 by default) with the single
+    algorithm as its sweep, using the algorithm id as the variant name — so
+    aggregated campaign reports carry one row group per algorithm and cached
+    artifacts are keyed per algorithm.  Ids are validated against the solver
+    registry up front, so a typo fails at grid-expansion time rather than
+    inside a worker process.
+    """
+    for algorithm in algorithms:
+        get_solver(algorithm)
+    return [
+        GridEntry.create(
+            experiment_id,
+            variant=algorithm,
+            overrides={**(dict(base_overrides or {})), "algorithms": (algorithm,)},
+            num_seeds=num_seeds,
+        )
+        for algorithm in algorithms
+    ]
+
+
 #: Miniature sweep sizes mirroring the test suite's "runs in seconds" configs.
 _SMALL_OVERRIDES: dict[str, dict[str, Any]] = {
     "E1": {"epsilons": (0.25, 0.5), "workloads": ("poisson-pareto",)},
@@ -103,7 +141,13 @@ _SMALL_OVERRIDES: dict[str, dict[str, Any]] = {
     "E7": {"epsilons": (0.5,), "num_jobs": 25, "samples_per_job": 6},
     "E8": {"job_counts": (200,), "machine_counts": (2,)},
     "E9": {"workloads": ("lemma1-L16",), "epsilon": 0.25},
+    "E10": {"algorithms": ("rejection-flow", "greedy"), "num_jobs": 40},
 }
+
+#: Algorithms swept by the ``solvers`` grid: E10's default sweep (flow-time
+#: model + references that work on deadline-less instances), kept in one
+#: place so the grid never desynchronises from a default E10 run.
+_SOLVER_AXIS = SolverCompareConfig().algorithms
 
 GRIDS: dict[str, CampaignGrid] = {
     grid.name: grid
@@ -119,7 +163,7 @@ GRIDS: dict[str, CampaignGrid] = {
         ),
         _grid(
             "small",
-            "all experiments E1-E9 at miniature scale, two seeds each",
+            "all experiments E1-E10 at miniature scale, two seeds each",
             [
                 GridEntry.create(exp_id, overrides=overrides, num_seeds=2)
                 for exp_id, overrides in _SMALL_OVERRIDES.items()
@@ -127,8 +171,13 @@ GRIDS: dict[str, CampaignGrid] = {
         ),
         _grid(
             "medium",
-            "all experiments E1-E9 at their default sweep sizes, three seeds each",
+            "all experiments E1-E10 at their default sweep sizes, three seeds each",
             [GridEntry.create(exp_id, num_seeds=3) for exp_id in _SMALL_OVERRIDES],
+        ),
+        _grid(
+            "solvers",
+            "algorithm axis: every flow-time solver via repro.solve(), two seeds each",
+            algorithm_axis(_SOLVER_AXIS, base_overrides={"num_jobs": 60}, num_seeds=2),
         ),
     )
 }

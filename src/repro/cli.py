@@ -1,9 +1,10 @@
 """Command-line interface.
 
-Four subcommands cover the common workflows::
+Five subcommands cover the common workflows::
 
     python -m repro experiments --only E1 E2 --scale small
     python -m repro simulate --jobs 200 --machines 4 --epsilon 0.5 --policy theorem1 --gantt
+    python -m repro solve --algorithm rejection-flow --param epsilon=0.5 --jobs 200
     python -m repro bounds --epsilon 0.25 --alpha 3
     python -m repro campaign run --grid small --workers 4
 
@@ -11,6 +12,9 @@ Four subcommands cover the common workflows::
   harness and ``examples/reproduce_experiments.py``).
 * ``simulate`` generates a random workload, runs one of the flow-time policies
   and prints the summary (optionally an ASCII Gantt chart and a CSV trace).
+* ``solve`` runs *any* registered algorithm through the unified solver
+  registry (``--list-algorithms`` enumerates them with their capability
+  metadata; ``--param name=value`` passes schema-validated parameters).
 * ``bounds`` prints the paper's closed-form guarantees for given parameters.
 * ``campaign`` runs (experiment × variant × seed) grids in parallel against a
   cached artifact store and aggregates the results (``run``/``list``/``report``).
@@ -22,9 +26,6 @@ import argparse
 import sys
 
 from repro.analysis.traces import ascii_gantt, trace_to_csv
-from repro.baselines.fcfs import FCFSScheduler
-from repro.baselines.greedy import GreedyDispatchScheduler
-from repro.baselines.immediate_rejection import ImmediateRejectionScheduler
 from repro.core.bounds import (
     energy_flow_competitive_ratio,
     energy_min_competitive_ratio,
@@ -32,19 +33,22 @@ from repro.core.bounds import (
     flow_time_competitive_ratio,
     flow_time_rejection_budget,
 )
-from repro.core.flow_time import RejectionFlowTimeScheduler
+from repro.exceptions import ReproError
 from repro.experiments import available_experiments, run_experiment
 from repro.lowerbounds.flow_combinatorial import best_flow_time_lower_bound
 from repro.simulation.engine import FlowTimeEngine
 from repro.simulation.metrics import summarize
 from repro.simulation.validation import validate_result
+from repro.solvers import list_algorithms, make_policy, solve
+from repro.utils.tabulate import format_table
 from repro.workloads.generators import InstanceGenerator
 
+#: CLI policy name -> (registry algorithm id, params drawn from the CLI args).
 _POLICIES = {
-    "theorem1": lambda args: RejectionFlowTimeScheduler(epsilon=args.epsilon),
-    "greedy": lambda args: GreedyDispatchScheduler(),
-    "fcfs": lambda args: FCFSScheduler(),
-    "immediate": lambda args: ImmediateRejectionScheduler(epsilon=args.epsilon),
+    "theorem1": ("rejection-flow", lambda args: {"epsilon": args.epsilon}),
+    "greedy": ("greedy", lambda args: {}),
+    "fcfs": ("fcfs", lambda args: {}),
+    "immediate": ("immediate-rejection", lambda args: {"epsilon": args.epsilon}),
 }
 
 
@@ -54,7 +58,7 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     experiments = subparsers.add_parser(
-        "experiments", help="run experiments E1-E9 and print their tables"
+        "experiments", help="run experiments E1-E10 and print their tables"
     )
     experiments.add_argument("--only", nargs="*", default=None, help="experiment ids to run")
     experiments.add_argument("--list", action="store_true", help="list experiments and exit")
@@ -71,6 +75,27 @@ def build_parser() -> argparse.ArgumentParser:
                           choices=("uniform", "exponential", "pareto", "bimodal"))
     simulate.add_argument("--gantt", action="store_true", help="print an ASCII Gantt chart")
     simulate.add_argument("--trace", action="store_true", help="print the CSV schedule trace")
+
+    solve_cmd = subparsers.add_parser(
+        "solve", help="run any registered algorithm via the unified solver registry"
+    )
+    solve_cmd.add_argument(
+        "--list-algorithms", action="store_true",
+        help="list registered algorithms with their capability metadata and exit",
+    )
+    solve_cmd.add_argument("--algorithm", default="rejection-flow",
+                           help="registry id (see --list-algorithms)")
+    solve_cmd.add_argument(
+        "--param", action="append", default=[], metavar="NAME=VALUE",
+        help="algorithm parameter, validated against the registry schema (repeatable)",
+    )
+    solve_cmd.add_argument("--jobs", type=int, default=200)
+    solve_cmd.add_argument("--machines", type=int, default=4)
+    solve_cmd.add_argument("--seed", type=int, default=0)
+    solve_cmd.add_argument("--alpha", type=float, default=3.0,
+                           help="power exponent of the generated machines")
+    solve_cmd.add_argument("--size-distribution", default="pareto",
+                           choices=("uniform", "exponential", "pareto", "bimodal"))
 
     bounds = subparsers.add_parser("bounds", help="print the paper's closed-form guarantees")
     bounds.add_argument("--epsilon", type=float, default=0.5)
@@ -131,7 +156,8 @@ def _cmd_simulate(args: argparse.Namespace, out) -> int:
         seed=args.seed,
     )
     instance = generator.generate(args.jobs)
-    policy = _POLICIES[args.policy](args)
+    algorithm, params_of = _POLICIES[args.policy]
+    policy = make_policy(algorithm, **params_of(args))
     result = FlowTimeEngine(instance).run(policy)
     validate_result(result)
     stats = summarize(result)
@@ -154,6 +180,67 @@ def _cmd_simulate(args: argparse.Namespace, out) -> int:
     if args.trace:
         print("", file=out)
         print(trace_to_csv(result), file=out, end="")
+    return 0
+
+
+def _parse_param(raw: str):
+    """Parse one ``NAME=VALUE`` pair; values become bool/None/int/float/str."""
+    name, sep, value = raw.partition("=")
+    if not sep or not name:
+        raise ReproError(f"--param expects NAME=VALUE, got {raw!r}")
+    lowered = value.lower()
+    if lowered in ("true", "false"):
+        return name, lowered == "true"
+    if lowered in ("none", "null"):
+        return name, None
+    for cast in (int, float):
+        try:
+            return name, cast(value)
+        except ValueError:
+            continue
+    return name, value
+
+
+def _cmd_solve(args: argparse.Namespace, out) -> int:
+    if args.list_algorithms:
+        rows = list_algorithms()
+        columns = ["algorithm", "model", "objective", "supports_rejection", "params"]
+        print(
+            format_table(
+                headers=columns,
+                rows=[[row[col] for col in columns] for row in rows],
+                title="== registered algorithms (repro.solve) ==",
+            ),
+            file=out,
+        )
+        return 0
+
+    params = dict(_parse_param(raw) for raw in args.param)
+    generator = InstanceGenerator(
+        num_machines=args.machines,
+        size_distribution=args.size_distribution,
+        alpha=args.alpha,
+        seed=args.seed,
+    )
+    instance = generator.generate(args.jobs)
+    outcome = solve(instance, args.algorithm, **params)
+    if outcome.result is not None:
+        validate_result(outcome.result)
+
+    print(f"instance      : {instance.name}", file=out)
+    print(f"algorithm     : {outcome.algorithm} (model {outcome.model})", file=out)
+    print(f"label         : {outcome.label}", file=out)
+    shown_params = ", ".join(f"{k}={v}" for k, v in sorted(outcome.params.items())) or "-"
+    print(f"params        : {shown_params}", file=out)
+    print(f"objective     : {outcome.objective} = {outcome.objective_value:.3f}", file=out)
+    for component, value in sorted(outcome.breakdown.items()):
+        print(f"  {component:22s}: {value:.3f}", file=out)
+    print(
+        f"rejected      : {outcome.rejected_count} jobs "
+        f"({100 * outcome.rejected_fraction:.1f}%, "
+        f"{100 * outcome.rejected_weight_fraction:.1f}% of weight)",
+        file=out,
+    )
     return 0
 
 
@@ -240,17 +327,30 @@ def _cmd_bounds(args: argparse.Namespace, out) -> int:
     return 0
 
 
-def main(argv: list[str] | None = None, out=None) -> int:
-    """CLI entry point; returns the process exit code."""
+def main(argv: list[str] | None = None, out=None, err=None) -> int:
+    """CLI entry point; returns the process exit code.
+
+    Library errors (:class:`ReproError`: unknown ids, schema-rejected
+    parameters, infeasible instances) print ``error: ...`` to ``err``
+    (stderr by default, so redirected data output stays clean) and exit 2
+    on every subcommand; only genuine bugs escape as tracebacks.
+    """
     out = out or sys.stdout
+    err = err or sys.stderr
     args = build_parser().parse_args(argv)
-    if args.command == "experiments":
-        return _cmd_experiments(args, out)
-    if args.command == "simulate":
-        return _cmd_simulate(args, out)
-    if args.command == "campaign":
-        return _cmd_campaign(args, out)
-    return _cmd_bounds(args, out)
+    try:
+        if args.command == "experiments":
+            return _cmd_experiments(args, out)
+        if args.command == "simulate":
+            return _cmd_simulate(args, out)
+        if args.command == "solve":
+            return _cmd_solve(args, out)
+        if args.command == "campaign":
+            return _cmd_campaign(args, out)
+        return _cmd_bounds(args, out)
+    except ReproError as exc:
+        print(f"error: {exc}", file=err)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -45,7 +45,8 @@ from repro.core.rejection import (
     check_epsilon,
 )
 from repro.exceptions import InvalidParameterError
-from repro.simulation.engine import ArrivalDecision, FlowTimePolicy, Rejection
+from repro.simulation.decisions import ArrivalDecision, Rejection
+from repro.simulation.engine import FlowTimePolicy
 from repro.simulation.instance import Instance
 from repro.simulation.job import Job
 from repro.simulation.state import EngineState

@@ -43,12 +43,8 @@ from repro.core.rejection import RejectionLog, WeightedRunningJobCounter, check_
 from repro.exceptions import InvalidParameterError
 from repro.simulation.instance import Instance
 from repro.simulation.job import Job
-from repro.simulation.speed_engine import (
-    SpeedArrivalDecision,
-    SpeedRejection,
-    SpeedScalingPolicy,
-    StartDecision,
-)
+from repro.simulation.decisions import ArrivalDecision, Rejection, StartDecision
+from repro.simulation.speed_engine import SpeedScalingPolicy
 from repro.simulation.state import EngineState
 
 
@@ -165,7 +161,7 @@ class RejectionEnergyFlowScheduler(SpeedScalingPolicy):
         own_duration = p_ij / (self.gamma * w_j_suffix ** (1.0 / self.alpha))
         return job.weight * (p_ij / self.epsilon + waiting) + succeeding_weight * own_duration
 
-    def on_arrival(self, t: float, job: Job, state: EngineState) -> SpeedArrivalDecision:
+    def on_arrival(self, t: float, job: Job, state: EngineState) -> ArrivalDecision:
         """Dispatch ``job`` to the machine minimising ``lambda_ij``; apply the weighted rule."""
         best_machine: int | None = None
         best_lambda = float("inf")
@@ -179,13 +175,13 @@ class RejectionEnergyFlowScheduler(SpeedScalingPolicy):
         self.lambdas[job.id] = (self.epsilon / (1.0 + self.epsilon)) * best_lambda
         self.lambda_choices[job.id] = (best_machine, best_lambda)
 
-        rejections: list[SpeedRejection] = []
+        rejections: list[Rejection] = []
         running = state.running(best_machine)
         if self.enable_rejection and running is not None:
             tracked = self._counters.get(best_machine)
             if tracked is not None and tracked.job_id == running.job.id:
                 if tracked.counter.record_dispatch(job.weight):
-                    rejections.append(SpeedRejection(running.job.id, reason="weighted-rule"))
+                    rejections.append(Rejection(running.job.id, reason="weighted-rule"))
                     self.rejection_events.append(
                         WeightedRejectionEvent(
                             machine=best_machine,
@@ -197,7 +193,7 @@ class RejectionEnergyFlowScheduler(SpeedScalingPolicy):
                     self.log.weighted.append(running.job.id)
                     del self._counters[best_machine]
 
-        return SpeedArrivalDecision.dispatch(best_machine, rejections)
+        return ArrivalDecision.dispatch(best_machine, rejections)
 
     # -- local scheduling ----------------------------------------------------------
 

@@ -63,3 +63,20 @@ class DualFeasibilityError(ReproError):
     the constructed dual solutions; this error signals a violation beyond
     numerical tolerance, i.e. an implementation bug.
     """
+
+
+class UnknownAlgorithmError(InvalidParameterError):
+    """An algorithm id was not found in the solver registry.
+
+    Raised by :func:`repro.solve` and :func:`repro.solvers.get_solver`; the
+    message lists the registered algorithm ids.
+    """
+
+
+class SolverModelError(InvalidParameterError):
+    """An algorithm was used under the wrong execution model.
+
+    Raised when a caller pins ``model=`` in :func:`repro.solve` to a model
+    the algorithm does not run under, or when a registered factory produces a
+    policy that does not implement the interface of its declared model.
+    """

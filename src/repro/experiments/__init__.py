@@ -1,9 +1,10 @@
-"""The experiment suite (E1-E9).
+"""The experiment suite (E1-E10).
 
 The paper proves guarantees instead of reporting measurements, so these
 experiments are the reproduction's counterpart of a systems paper's tables
-and figures: each one empirically verifies one theorem or lemma (see
-DESIGN.md section 3 for the index).  Every experiment module exposes
+and figures: each of E1-E9 empirically verifies one theorem or lemma (see
+DESIGN.md section 3 for the index), and E10 sweeps algorithms through the
+unified solver registry.  Every experiment module exposes
 
 * a ``*Config`` dataclass with the sweep parameters, and
 * ``run(config) -> ExperimentResult``,

@@ -15,11 +15,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.reporting import ExperimentTable
-from repro.core.flow_time import RejectionFlowTimeScheduler
 from repro.experiments.registry import ExperimentResult
 from repro.lowerbounds.flow_combinatorial import best_flow_time_lower_bound
 from repro.simulation.engine import FlowTimeEngine
 from repro.simulation.metrics import max_flow_time, rejected_fraction, total_flow_time
+from repro.solvers import make_policy
 from repro.workloads.suites import standard_suites
 
 
@@ -63,8 +63,9 @@ def run(config: AblationExperimentConfig) -> ExperimentResult:
         lower_bound = best_flow_time_lower_bound(instance)
         engine = FlowTimeEngine(instance)
         for label, rule1, rule2 in _VARIANTS:
-            scheduler = RejectionFlowTimeScheduler(
-                epsilon=config.epsilon, enable_rule1=rule1, enable_rule2=rule2
+            scheduler = make_policy(
+                "rejection-flow",
+                epsilon=config.epsilon, enable_rule1=rule1, enable_rule2=rule2,
             )
             result = engine.run(scheduler)
             flow = total_flow_time(result)

@@ -18,11 +18,10 @@ from dataclasses import dataclass
 from repro.analysis.reporting import ExperimentTable
 from repro.core.dual import FlowTimeDualAccountant
 from repro.core.dual_energy import EnergyFlowDualAccountant
-from repro.core.flow_time import RejectionFlowTimeScheduler
-from repro.core.flow_time_energy import RejectionEnergyFlowScheduler
 from repro.experiments.registry import ExperimentResult
 from repro.simulation.engine import FlowTimeEngine
 from repro.simulation.speed_engine import SpeedScalingEngine
+from repro.solvers import make_policy
 from repro.workloads.generators import InstanceGenerator, WeightedInstanceGenerator
 
 
@@ -77,7 +76,7 @@ def run(config: DualFittingExperimentConfig) -> ExperimentResult:
     ).generate(config.num_jobs)
 
     for epsilon in config.epsilons:
-        scheduler = RejectionFlowTimeScheduler(epsilon=epsilon)
+        scheduler = make_policy("rejection-flow", epsilon=epsilon)
         result = FlowTimeEngine(flow_instance).run(scheduler)
         accountant = FlowTimeDualAccountant(result, scheduler)
         check = accountant.check_feasibility(samples_per_job=config.samples_per_job)
@@ -94,7 +93,7 @@ def run(config: DualFittingExperimentConfig) -> ExperimentResult:
         flow_table.add_row(row)
         raw["flow"].append(row)
 
-        energy_scheduler = RejectionEnergyFlowScheduler(epsilon=epsilon)
+        energy_scheduler = make_policy("rejection-energy-flow", epsilon=epsilon)
         energy_result = SpeedScalingEngine(weighted_instance).run(energy_scheduler)
         energy_accountant = EnergyFlowDualAccountant(energy_result, energy_scheduler)
         energy_check = energy_accountant.check_feasibility(

@@ -17,14 +17,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.reporting import ExperimentTable
-from repro.baselines.hdf import HighestDensityFirstScheduler, NoRejectionEnergyFlowScheduler
+from repro.baselines.hdf import HighestDensityFirstScheduler
 from repro.core.bounds import energy_flow_competitive_ratio, energy_flow_rejection_budget
-from repro.core.flow_time_energy import RejectionEnergyFlowScheduler
 from repro.experiments.registry import ExperimentResult
 from repro.lowerbounds.energy_bounds import per_job_flow_energy_lower_bound
 from repro.simulation.metrics import flow_plus_energy, rejected_weight_fraction
 from repro.simulation.speed_engine import SpeedScalingEngine
 from repro.simulation.validation import validate_result
+from repro.solvers import make_policy
 from repro.workloads.generators import WeightedInstanceGenerator
 
 
@@ -70,7 +70,7 @@ def run(config: EnergyFlowExperimentConfig) -> ExperimentResult:
 
         runs: list[tuple[str, float | None, float, float]] = []
         for epsilon in config.epsilons:
-            scheduler = RejectionEnergyFlowScheduler(epsilon=epsilon)
+            scheduler = make_policy("rejection-energy-flow", epsilon=epsilon)
             result = engine.run(scheduler)
             if config.validate:
                 validate_result(result)
@@ -78,7 +78,7 @@ def run(config: EnergyFlowExperimentConfig) -> ExperimentResult:
                 (scheduler.name, epsilon, flow_plus_energy(result), rejected_weight_fraction(result))
             )
 
-        no_reject = NoRejectionEnergyFlowScheduler()
+        no_reject = make_policy("energy-flow-no-rejection")
         nr_result = engine.run(no_reject)
         if config.validate:
             validate_result(nr_result)

@@ -18,16 +18,14 @@ from dataclasses import dataclass, field
 
 from repro.analysis.competitive import flow_time_competitive_estimate
 from repro.analysis.reporting import ExperimentTable
-from repro.baselines.fcfs import FCFSScheduler
-from repro.baselines.greedy import GreedyDispatchScheduler
 from repro.baselines.offline import offline_list_schedule
 from repro.core.bounds import flow_time_competitive_ratio, flow_time_rejection_budget
-from repro.core.flow_time import RejectionFlowTimeScheduler
 from repro.experiments.registry import ExperimentResult
 from repro.lowerbounds.flow_combinatorial import best_flow_time_lower_bound
 from repro.simulation.engine import FlowTimeEngine
 from repro.simulation.metrics import rejected_fraction, total_flow_time
 from repro.simulation.validation import validate_result
+from repro.solvers import make_policy
 from repro.workloads.suites import standard_suites
 
 
@@ -73,10 +71,10 @@ def run(config: FlowTimeExperimentConfig) -> ExperimentResult:
 
         candidates = []
         for epsilon in config.epsilons:
-            candidates.append((RejectionFlowTimeScheduler(epsilon=epsilon), epsilon))
+            candidates.append((make_policy("rejection-flow", epsilon=epsilon), epsilon))
         if config.include_baselines:
-            candidates.append((GreedyDispatchScheduler(), None))
-            candidates.append((FCFSScheduler(), None))
+            candidates.append((make_policy("greedy"), None))
+            candidates.append((make_policy("fcfs"), None))
 
         results = []
         for scheduler, epsilon in candidates:

@@ -19,13 +19,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.reporting import ExperimentTable
-from repro.baselines.immediate_rejection import ImmediateRejectionScheduler
 from repro.core.bounds import flow_time_competitive_ratio, immediate_rejection_lower_bound
-from repro.core.flow_time import RejectionFlowTimeScheduler
 from repro.experiments.registry import ExperimentResult
 from repro.lowerbounds.flow_combinatorial import best_flow_time_lower_bound
 from repro.simulation.engine import FlowTimeEngine
 from repro.simulation.metrics import rejected_fraction, total_flow_time
+from repro.solvers import make_policy
 from repro.workloads.adversarial import lemma1_instance
 
 
@@ -66,9 +65,9 @@ def run(config: ImmediateRejectionExperimentConfig) -> ExperimentResult:
         lower_bound = best_flow_time_lower_bound(instance)
         engine = FlowTimeEngine(instance)
 
-        schedulers = [RejectionFlowTimeScheduler(epsilon=config.epsilon)]
+        schedulers = [make_policy("rejection-flow", epsilon=config.epsilon)]
         schedulers += [
-            ImmediateRejectionScheduler(epsilon=config.epsilon, variant=variant)
+            make_policy("immediate-rejection", epsilon=config.epsilon, variant=variant)
             for variant in config.immediate_variants
         ]
 

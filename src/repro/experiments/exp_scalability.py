@@ -13,10 +13,9 @@ import time
 from dataclasses import dataclass
 
 from repro.analysis.reporting import ExperimentTable
-from repro.baselines.greedy import GreedyDispatchScheduler
-from repro.core.flow_time import RejectionFlowTimeScheduler
 from repro.experiments.registry import ExperimentResult
 from repro.simulation.engine import FlowTimeEngine
+from repro.solvers import make_policy
 from repro.workloads.generators import InstanceGenerator
 
 
@@ -54,8 +53,8 @@ def run(config: ScalabilityExperimentConfig) -> ExperimentResult:
             ).generate(num_jobs)
             engine = FlowTimeEngine(instance)
             for scheduler in (
-                RejectionFlowTimeScheduler(epsilon=config.epsilon),
-                GreedyDispatchScheduler(),
+                make_policy("rejection-flow", epsilon=config.epsilon),
+                make_policy("greedy"),
             ):
                 best_time = float("inf")
                 events = 0

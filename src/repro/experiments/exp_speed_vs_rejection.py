@@ -23,11 +23,11 @@ from repro.core.bounds import (
     flow_time_competitive_ratio,
     speed_augmentation_competitive_ratio,
 )
-from repro.core.flow_time import RejectionFlowTimeScheduler
 from repro.experiments.registry import ExperimentResult
 from repro.lowerbounds.flow_combinatorial import best_flow_time_lower_bound
 from repro.simulation.engine import FlowTimeEngine
 from repro.simulation.metrics import rejected_fraction, total_flow_time
+from repro.solvers import make_policy
 from repro.workloads.suites import standard_suites
 
 
@@ -67,7 +67,7 @@ def run(config: SpeedVsRejectionExperimentConfig) -> ExperimentResult:
         engine = FlowTimeEngine(instance)
 
         for epsilon in config.epsilons:
-            rejection_only = engine.run(RejectionFlowTimeScheduler(epsilon=epsilon))
+            rejection_only = engine.run(make_policy("rejection-flow", epsilon=epsilon))
             augmented = run_with_speed_augmentation(
                 instance, epsilon_speed=epsilon, epsilon_reject=epsilon
             )

@@ -120,6 +120,12 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
             "AblationExperimentConfig",
             "Ablation of the two rejection rules of the Theorem 1 algorithm",
         ),
+        ExperimentSpec(
+            "E10",
+            "repro.experiments.exp_solver_compare",
+            "SolverCompareConfig",
+            "Algorithm sweep through the unified solver registry (repro.solve)",
+        ),
     )
 }
 

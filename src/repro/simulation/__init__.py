@@ -22,13 +22,17 @@ from repro.simulation.schedule import (
     JobRecord,
     SimulationResult,
 )
-from repro.simulation.engine import FlowTimeEngine, FlowTimePolicy, ArrivalDecision
+from repro.simulation.decisions import ArrivalDecision, Rejection, StartDecision
+from repro.simulation.engine import FlowTimeEngine, FlowTimePolicy, NonPreemptiveEngine, run_policy
 from repro.simulation.speed_engine import (
     SpeedScalingEngine,
     SpeedScalingPolicy,
-    SpeedArrivalDecision,
-    StartDecision,
+    run_speed_policy,
 )
+
+#: Deprecated alias of :class:`ArrivalDecision`, kept for one release
+#: (importing it from ``repro.simulation.speed_engine`` warns).
+SpeedArrivalDecision = ArrivalDecision
 from repro.simulation.timeline import DiscreteTimeline, Strategy
 from repro.simulation.metrics import (
     total_flow_time,
@@ -49,11 +53,15 @@ __all__ = [
     "SimulationResult",
     "FlowTimeEngine",
     "FlowTimePolicy",
+    "NonPreemptiveEngine",
     "ArrivalDecision",
+    "Rejection",
     "SpeedScalingEngine",
     "SpeedScalingPolicy",
     "SpeedArrivalDecision",
     "StartDecision",
+    "run_policy",
+    "run_speed_policy",
     "DiscreteTimeline",
     "Strategy",
     "total_flow_time",

@@ -1,0 +1,68 @@
+"""Decision dataclasses shared by both non-preemptive engines.
+
+Historically :mod:`repro.simulation.engine` and
+:mod:`repro.simulation.speed_engine` each defined their own (structurally
+identical) ``Rejection`` / ``ArrivalDecision`` pair.  The types live here now
+and are shared by both execution models; the old ``Speed*`` names remain as
+deprecated aliases in :mod:`repro.simulation.speed_engine` for one release.
+
+``StartDecision`` is only meaningful in the speed-scaling model (fixed-speed
+machines derive the speed from the machine spec), but it lives here with its
+siblings so policies import every decision type from one module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.exceptions import SimulationError
+
+
+@dataclass(frozen=True, slots=True)
+class Rejection:
+    """A request by a policy to reject a specific job right now."""
+
+    job_id: int
+    reason: str = "policy"
+
+
+@dataclass(frozen=True, slots=True)
+class ArrivalDecision:
+    """Decision returned by a policy's ``on_arrival`` hook.
+
+    Attributes
+    ----------
+    machine:
+        Index of the machine the arriving job is dispatched to, or ``None``
+        to reject the arriving job immediately (immediate-rejection baselines).
+    rejections:
+        Other jobs to reject at the arrival instant (pending or running jobs,
+        on any machine).  Used by the paper's Rule 1 / Rule 2 and by the
+        weighted rejection rule of the speed-scaling algorithm.
+    """
+
+    machine: int | None
+    rejections: tuple[Rejection, ...] = ()
+
+    @staticmethod
+    def dispatch(machine: int, rejections: Sequence[Rejection] = ()) -> "ArrivalDecision":
+        """Dispatch the arriving job to ``machine`` with optional extra rejections."""
+        return ArrivalDecision(machine=machine, rejections=tuple(rejections))
+
+    @staticmethod
+    def reject(rejections: Sequence[Rejection] = ()) -> "ArrivalDecision":
+        """Reject the arriving job immediately."""
+        return ArrivalDecision(machine=None, rejections=tuple(rejections))
+
+
+@dataclass(frozen=True, slots=True)
+class StartDecision:
+    """Which pending job to start and at what (constant) speed."""
+
+    job_id: int
+    speed: float
+
+    def __post_init__(self) -> None:
+        if not (self.speed > 0):
+            raise SimulationError(f"start speed must be positive, got {self.speed}")

@@ -20,57 +20,35 @@ The engine is policy-driven.  A policy implements three hooks:
 ``reset(instance)``
     Called once per run before any event, so stateful policies (counters)
     can be reused across runs.
+
+The event loop itself (arrival bookkeeping, stale-completion filtering,
+rejection of pending or running jobs) is shared with the speed-scaling engine
+via :class:`NonPreemptiveEngine`; the two models differ only in how a start
+decision translates into a ``(speed, duration)`` pair and in the extras they
+attach to the result.
 """
 
 from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
-from typing import Sequence
 
 from repro.exceptions import SimulationError
+from repro.simulation.decisions import ArrivalDecision, Rejection
 from repro.simulation.events import Event, EventKind, EventQueue
 from repro.simulation.instance import Instance
 from repro.simulation.job import Job
 from repro.simulation.schedule import ExecutionInterval, JobRecord, SimulationResult
-from repro.simulation.state import EngineState, RunningInfo
+from repro.simulation.state import EngineState, MachineState, RunningInfo
 
-
-@dataclass(frozen=True, slots=True)
-class Rejection:
-    """A request by a policy to reject a specific job right now."""
-
-    job_id: int
-    reason: str = "policy"
-
-
-@dataclass(frozen=True, slots=True)
-class ArrivalDecision:
-    """Decision returned by ``on_arrival``.
-
-    Attributes
-    ----------
-    machine:
-        Index of the machine the arriving job is dispatched to, or ``None``
-        to reject the arriving job immediately (immediate-rejection baselines).
-    rejections:
-        Other jobs to reject at the arrival instant (pending or running jobs,
-        on any machine).  Used by the paper's Rule 1 / Rule 2.
-    """
-
-    machine: int | None
-    rejections: tuple[Rejection, ...] = ()
-
-    @staticmethod
-    def dispatch(machine: int, rejections: Sequence[Rejection] = ()) -> "ArrivalDecision":
-        """Dispatch the arriving job to ``machine`` with optional extra rejections."""
-        return ArrivalDecision(machine=machine, rejections=tuple(rejections))
-
-    @staticmethod
-    def reject(rejections: Sequence[Rejection] = ()) -> "ArrivalDecision":
-        """Reject the arriving job immediately."""
-        return ArrivalDecision(machine=None, rejections=tuple(rejections))
+__all__ = [
+    "ArrivalDecision",
+    "Rejection",
+    "FlowTimePolicy",
+    "FlowTimeEngine",
+    "NonPreemptiveEngine",
+    "run_policy",
+]
 
 
 class FlowTimePolicy(ABC):
@@ -91,15 +69,22 @@ class FlowTimePolicy(ABC):
         """Pick the pending job to start on an idle machine (or ``None``)."""
 
 
-class FlowTimeEngine:
-    """Discrete-event simulator for non-preemptive flow-time scheduling."""
+class NonPreemptiveEngine(ABC):
+    """Shared event loop of the two non-preemptive discrete-event simulators.
+
+    Subclasses define how an idle machine turns a policy's start decision into
+    a running job (:meth:`_pick_start`) and which extras the result carries
+    (:meth:`_result_extras`); everything else — event ordering, dispatching,
+    rejection of pending or running jobs, record bookkeeping — is identical in
+    the fixed-speed and speed-scaling models and lives here.
+    """
 
     def __init__(self, instance: Instance) -> None:
         self.instance = instance
 
     # -- public API ----------------------------------------------------------------
 
-    def run(self, policy: FlowTimePolicy) -> SimulationResult:
+    def run(self, policy) -> SimulationResult:
         """Simulate ``policy`` on the engine's instance and return the result."""
         instance = self.instance
         policy.reset(instance)
@@ -112,7 +97,6 @@ class FlowTimeEngine:
         records: dict[int, JobRecord] = {}
         intervals: list[ExecutionInterval] = []
         dispatched_machine: dict[int, int] = {}
-        start_times: dict[int, float] = {}
         event_count = 0
 
         while queue:
@@ -121,14 +105,12 @@ class FlowTimeEngine:
             event_count += 1
 
             if event.kind == EventKind.COMPLETION:
-                self._handle_completion(event, state, records, intervals, start_times)
+                self._handle_completion(event, state, records, intervals)
             else:
-                self._handle_arrival(
-                    event, policy, state, records, intervals, dispatched_machine, start_times
-                )
+                self._handle_arrival(event, policy, state, records, intervals, dispatched_machine)
 
             # After any event, idle machines with pending work may start a job.
-            self._start_idle_machines(event.time, policy, state, queue, start_times)
+            self._start_idle_machines(event.time, policy, state, queue)
 
         self._check_all_jobs_settled(instance, records)
         return SimulationResult(
@@ -136,8 +118,25 @@ class FlowTimeEngine:
             records=records,
             intervals=sorted(intervals, key=lambda iv: (iv.start, iv.machine)),
             algorithm=policy.name,
-            extras={"events": event_count},
+            extras=self._result_extras(intervals, event_count),
         )
+
+    # -- model-specific hooks ------------------------------------------------------
+
+    @abstractmethod
+    def _pick_start(
+        self, t: float, policy, ms: MachineState, state: EngineState
+    ) -> tuple[Job, float, float] | None:
+        """Ask ``policy`` what to start on idle machine ``ms``.
+
+        Returns ``(job, speed, duration)`` for the job to start now, or
+        ``None`` to leave the machine idle until the next event.  Implementors
+        validate the policy's choice (pending membership, finite duration).
+        """
+
+    def _result_extras(self, intervals: list[ExecutionInterval], event_count: int) -> dict:
+        """Extras attached to the simulation result."""
+        return {"events": event_count}
 
     # -- event handlers ------------------------------------------------------------
 
@@ -147,7 +146,6 @@ class FlowTimeEngine:
         state: EngineState,
         records: dict[int, JobRecord],
         intervals: list[ExecutionInterval],
-        start_times: dict[int, float],
     ) -> None:
         ms = state.machines[event.machine]
         if ms.version != event.version or ms.running is None or ms.running.job.id != event.job_id:
@@ -175,17 +173,15 @@ class FlowTimeEngine:
             completion=event.time,
             rejected=False,
         )
-        start_times.pop(job.id, None)
 
     def _handle_arrival(
         self,
         event: Event,
-        policy: FlowTimePolicy,
+        policy,
         state: EngineState,
         records: dict[int, JobRecord],
         intervals: list[ExecutionInterval],
         dispatched_machine: dict[int, int],
-        start_times: dict[int, float],
     ) -> None:
         job = state.job(event.job_id)
         decision = policy.on_arrival(event.time, job, state)
@@ -217,7 +213,7 @@ class FlowTimeEngine:
 
         for rejection in decision.rejections:
             self._apply_rejection(
-                event.time, rejection, state, records, intervals, dispatched_machine, start_times
+                event.time, rejection, state, records, intervals, dispatched_machine
             )
 
     def _apply_rejection(
@@ -228,7 +224,6 @@ class FlowTimeEngine:
         records: dict[int, JobRecord],
         intervals: list[ExecutionInterval],
         dispatched_machine: dict[int, int],
-        start_times: dict[int, float],
     ) -> None:
         job_id = rejection.job_id
         if job_id in records:
@@ -262,7 +257,6 @@ class FlowTimeEngine:
                     rejection_time=t,
                     rejection_reason=rejection.reason,
                 )
-                start_times.pop(job_id, None)
                 return
 
         # Case 2: the job is pending on its dispatched machine.
@@ -291,35 +285,20 @@ class FlowTimeEngine:
     def _start_idle_machines(
         self,
         t: float,
-        policy: FlowTimePolicy,
+        policy,
         state: EngineState,
         queue: EventQueue,
-        start_times: dict[int, float],
     ) -> None:
         for ms in state.machines:
             if ms.running is not None or not ms.pending:
                 continue
-            job_id = policy.select_next(t, ms.index, state)
-            if job_id is None:
+            started = self._pick_start(t, policy, ms, state)
+            if started is None:
                 continue
-            if job_id not in ms.pending:
-                raise SimulationError(
-                    f"policy {policy.name!r} started job {job_id} which is not pending "
-                    f"on machine {ms.index}"
-                )
-            job = state.job(job_id)
-            machine_spec = self.instance.machines[ms.index]
-            duration = machine_spec.processing_duration(job.size_on(ms.index))
-            if not math.isfinite(duration):
-                raise SimulationError(
-                    f"job {job_id} has infinite processing time on machine {ms.index}"
-                )
-            ms.pending.remove(job_id)
-            ms.running = RunningInfo(
-                job=job, start=t, finish=t + duration, speed=machine_spec.speed_factor
-            )
-            start_times[job_id] = t
-            queue.push_completion(t + duration, job_id, ms.index, ms.version)
+            job, speed, duration = started
+            ms.pending.remove(job.id)
+            ms.running = RunningInfo(job=job, start=t, finish=t + duration, speed=speed)
+            queue.push_completion(t + duration, job.id, ms.index, ms.version)
 
     @staticmethod
     def _check_all_jobs_settled(instance: Instance, records: dict[int, JobRecord]) -> None:
@@ -332,6 +311,30 @@ class FlowTimeEngine:
             raise SimulationError(
                 f"{len(missing)} job(s) never finished nor were rejected: {missing[:5]}"
             )
+
+
+class FlowTimeEngine(NonPreemptiveEngine):
+    """Discrete-event simulator for non-preemptive flow-time scheduling."""
+
+    def _pick_start(
+        self, t: float, policy: FlowTimePolicy, ms: MachineState, state: EngineState
+    ) -> tuple[Job, float, float] | None:
+        job_id = policy.select_next(t, ms.index, state)
+        if job_id is None:
+            return None
+        if job_id not in ms.pending:
+            raise SimulationError(
+                f"policy {policy.name!r} started job {job_id} which is not pending "
+                f"on machine {ms.index}"
+            )
+        job = state.job(job_id)
+        machine_spec = self.instance.machines[ms.index]
+        duration = machine_spec.processing_duration(job.size_on(ms.index))
+        if not math.isfinite(duration):
+            raise SimulationError(
+                f"job {job_id} has infinite processing time on machine {ms.index}"
+            )
+        return job, machine_spec.speed_factor, duration
 
 
 def run_policy(instance: Instance, policy: FlowTimePolicy) -> SimulationResult:

@@ -6,61 +6,57 @@ speed chosen when it starts (the paper's algorithm fixes the speed at start
 time and never changes it).  Rejecting a running job interrupts it; the energy
 already spent is still accounted for in the measured objective.
 
-The engine mirrors :class:`~repro.simulation.engine.FlowTimeEngine` but start
-decisions carry a speed, and the result's extras record the total energy.
+The event loop is shared with
+:class:`~repro.simulation.engine.FlowTimeEngine` through
+:class:`~repro.simulation.engine.NonPreemptiveEngine`; here a start decision
+carries a speed, and the result's extras record the total energy.  The
+decision dataclasses likewise live in :mod:`repro.simulation.decisions` and
+are shared by both models; ``SpeedRejection`` and ``SpeedArrivalDecision``
+remain as deprecated aliases of the shared types for one release.
 """
 
 from __future__ import annotations
 
 import math
+import warnings
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
-from typing import Sequence
 
 from repro.exceptions import SimulationError
-from repro.simulation.events import Event, EventKind, EventQueue
+from repro.simulation.decisions import ArrivalDecision, Rejection, StartDecision
+from repro.simulation.engine import NonPreemptiveEngine
 from repro.simulation.instance import Instance
 from repro.simulation.job import Job
-from repro.simulation.schedule import ExecutionInterval, JobRecord, SimulationResult
-from repro.simulation.state import EngineState, RunningInfo
+from repro.simulation.schedule import ExecutionInterval, SimulationResult
+from repro.simulation.state import EngineState, MachineState
+
+__all__ = [
+    "SpeedRejection",
+    "SpeedArrivalDecision",
+    "StartDecision",
+    "SpeedScalingPolicy",
+    "SpeedScalingEngine",
+    "run_speed_policy",
+]
+
+#: Deprecated aliases of the shared decision types; importing them warns so
+#: callers get a migration window before the names are removed next release.
+_DEPRECATED_ALIASES = {
+    "SpeedRejection": Rejection,
+    "SpeedArrivalDecision": ArrivalDecision,
+}
 
 
-@dataclass(frozen=True, slots=True)
-class SpeedRejection:
-    """A request to reject a specific job (pending or running) right now."""
-
-    job_id: int
-    reason: str = "policy"
-
-
-@dataclass(frozen=True, slots=True)
-class SpeedArrivalDecision:
-    """Dispatch decision at a job arrival in the speed-scaling model."""
-
-    machine: int | None
-    rejections: tuple[SpeedRejection, ...] = ()
-
-    @staticmethod
-    def dispatch(machine: int, rejections: Sequence[SpeedRejection] = ()) -> "SpeedArrivalDecision":
-        """Dispatch the arriving job to ``machine``."""
-        return SpeedArrivalDecision(machine=machine, rejections=tuple(rejections))
-
-    @staticmethod
-    def reject(rejections: Sequence[SpeedRejection] = ()) -> "SpeedArrivalDecision":
-        """Reject the arriving job immediately."""
-        return SpeedArrivalDecision(machine=None, rejections=tuple(rejections))
-
-
-@dataclass(frozen=True, slots=True)
-class StartDecision:
-    """Which pending job to start and at what (constant) speed."""
-
-    job_id: int
-    speed: float
-
-    def __post_init__(self) -> None:
-        if not (self.speed > 0):
-            raise SimulationError(f"start speed must be positive, got {self.speed}")
+def __getattr__(name: str):
+    replacement = _DEPRECATED_ALIASES.get(name)
+    if replacement is not None:
+        warnings.warn(
+            f"repro.simulation.speed_engine.{name} is deprecated; use "
+            f"repro.simulation.decisions.{replacement.__name__} instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return replacement
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class SpeedScalingPolicy(ABC):
@@ -73,7 +69,7 @@ class SpeedScalingPolicy(ABC):
         """Prepare internal state for a new run (default: nothing)."""
 
     @abstractmethod
-    def on_arrival(self, t: float, job: Job, state: EngineState) -> SpeedArrivalDecision:
+    def on_arrival(self, t: float, job: Job, state: EngineState) -> ArrivalDecision:
         """Dispatch (or reject) the job released at time ``t``."""
 
     @abstractmethod
@@ -81,230 +77,34 @@ class SpeedScalingPolicy(ABC):
         """Pick the pending job to start on an idle machine and its speed."""
 
 
-class SpeedScalingEngine:
+class SpeedScalingEngine(NonPreemptiveEngine):
     """Discrete-event simulator for non-preemptive speed-scaling scheduling."""
 
-    def __init__(self, instance: Instance) -> None:
-        self.instance = instance
-
-    def run(self, policy: SpeedScalingPolicy) -> SimulationResult:
-        """Simulate ``policy`` on the engine's instance and return the result."""
-        instance = self.instance
-        policy.reset(instance)
-
-        state = EngineState(instance)
-        queue = EventQueue()
-        for job in instance.jobs:
-            queue.push_arrival(job.release, job.id)
-
-        records: dict[int, JobRecord] = {}
-        intervals: list[ExecutionInterval] = []
-        dispatched_machine: dict[int, int] = {}
-        event_count = 0
-
-        while queue:
-            event = queue.pop()
-            state.time = event.time
-            event_count += 1
-
-            if event.kind == EventKind.COMPLETION:
-                self._handle_completion(event, state, records, intervals)
-            else:
-                self._handle_arrival(
-                    event, policy, state, records, intervals, dispatched_machine
-                )
-
-            self._start_idle_machines(event.time, policy, state, queue)
-
-        missing = [job.id for job in instance.jobs if job.id not in records]
-        if missing:
+    def _pick_start(
+        self, t: float, policy: SpeedScalingPolicy, ms: MachineState, state: EngineState
+    ) -> tuple[Job, float, float] | None:
+        decision = policy.select_next(t, ms.index, state)
+        if decision is None:
+            return None
+        if decision.job_id not in ms.pending:
             raise SimulationError(
-                f"{len(missing)} job(s) never finished nor were rejected: {missing[:5]}"
+                f"policy {policy.name!r} started job {decision.job_id} which is not pending "
+                f"on machine {ms.index}"
             )
+        job = state.job(decision.job_id)
+        volume = job.size_on(ms.index)
+        duration = volume / decision.speed
+        if not math.isfinite(duration):
+            raise SimulationError(
+                f"job {decision.job_id} has infinite duration on machine {ms.index}"
+            )
+        return job, decision.speed, duration
 
+    def _result_extras(self, intervals: list[ExecutionInterval], event_count: int) -> dict:
         energy = sum(
-            iv.energy(instance.machines[iv.machine].alpha) for iv in intervals
+            iv.energy(self.instance.machines[iv.machine].alpha) for iv in intervals
         )
-        return SimulationResult(
-            instance=instance,
-            records=records,
-            intervals=sorted(intervals, key=lambda iv: (iv.start, iv.machine)),
-            algorithm=policy.name,
-            extras={"events": event_count, "energy": energy},
-        )
-
-    # -- event handlers ------------------------------------------------------------
-
-    def _handle_completion(
-        self,
-        event: Event,
-        state: EngineState,
-        records: dict[int, JobRecord],
-        intervals: list[ExecutionInterval],
-    ) -> None:
-        ms = state.machines[event.machine]
-        if ms.version != event.version or ms.running is None or ms.running.job.id != event.job_id:
-            return
-        info = ms.running
-        ms.running = None
-        ms.version += 1
-        intervals.append(
-            ExecutionInterval(
-                machine=event.machine,
-                job_id=event.job_id,
-                start=info.start,
-                end=event.time,
-                speed=info.speed,
-                completed=True,
-            )
-        )
-        job = info.job
-        records[job.id] = JobRecord(
-            job_id=job.id,
-            weight=job.weight,
-            release=job.release,
-            machine=event.machine,
-            start=info.start,
-            completion=event.time,
-            rejected=False,
-        )
-
-    def _handle_arrival(
-        self,
-        event: Event,
-        policy: SpeedScalingPolicy,
-        state: EngineState,
-        records: dict[int, JobRecord],
-        intervals: list[ExecutionInterval],
-        dispatched_machine: dict[int, int],
-    ) -> None:
-        job = state.job(event.job_id)
-        decision = policy.on_arrival(event.time, job, state)
-
-        if decision.machine is None:
-            records[job.id] = JobRecord(
-                job_id=job.id,
-                weight=job.weight,
-                release=job.release,
-                machine=None,
-                start=None,
-                completion=None,
-                rejected=True,
-                rejection_time=event.time,
-                rejection_reason="immediate",
-            )
-        else:
-            machine = decision.machine
-            if not (0 <= machine < state.num_machines):
-                raise SimulationError(
-                    f"policy {policy.name!r} dispatched job {job.id} to invalid machine {machine}"
-                )
-            if math.isinf(job.size_on(machine)):
-                raise SimulationError(
-                    f"policy {policy.name!r} dispatched job {job.id} to forbidden machine {machine}"
-                )
-            state.machines[machine].pending.append(job.id)
-            dispatched_machine[job.id] = machine
-
-        for rejection in decision.rejections:
-            self._apply_rejection(
-                event.time, rejection, state, records, intervals, dispatched_machine
-            )
-
-    def _apply_rejection(
-        self,
-        t: float,
-        rejection: SpeedRejection,
-        state: EngineState,
-        records: dict[int, JobRecord],
-        intervals: list[ExecutionInterval],
-        dispatched_machine: dict[int, int],
-    ) -> None:
-        job_id = rejection.job_id
-        if job_id in records:
-            raise SimulationError(f"job {job_id} rejected after it already finished/was rejected")
-
-        for ms in state.machines:
-            if ms.running is not None and ms.running.job.id == job_id:
-                info = ms.running
-                ms.running = None
-                ms.version += 1
-                if t > info.start:
-                    intervals.append(
-                        ExecutionInterval(
-                            machine=ms.index,
-                            job_id=job_id,
-                            start=info.start,
-                            end=t,
-                            speed=info.speed,
-                            completed=False,
-                        )
-                    )
-                records[job_id] = JobRecord(
-                    job_id=job_id,
-                    weight=info.job.weight,
-                    release=info.job.release,
-                    machine=ms.index,
-                    start=info.start,
-                    completion=None,
-                    rejected=True,
-                    rejection_time=t,
-                    rejection_reason=rejection.reason,
-                )
-                return
-
-        machine = dispatched_machine.get(job_id)
-        if machine is None:
-            raise SimulationError(f"cannot reject job {job_id}: it was never dispatched")
-        ms = state.machines[machine]
-        if job_id not in ms.pending:
-            raise SimulationError(
-                f"cannot reject job {job_id}: not pending on machine {machine}"
-            )
-        ms.pending.remove(job_id)
-        job = state.job(job_id)
-        records[job_id] = JobRecord(
-            job_id=job_id,
-            weight=job.weight,
-            release=job.release,
-            machine=machine,
-            start=None,
-            completion=None,
-            rejected=True,
-            rejection_time=t,
-            rejection_reason=rejection.reason,
-        )
-
-    def _start_idle_machines(
-        self,
-        t: float,
-        policy: SpeedScalingPolicy,
-        state: EngineState,
-        queue: EventQueue,
-    ) -> None:
-        for ms in state.machines:
-            if ms.running is not None or not ms.pending:
-                continue
-            decision = policy.select_next(t, ms.index, state)
-            if decision is None:
-                continue
-            if decision.job_id not in ms.pending:
-                raise SimulationError(
-                    f"policy {policy.name!r} started job {decision.job_id} which is not pending "
-                    f"on machine {ms.index}"
-                )
-            job = state.job(decision.job_id)
-            volume = job.size_on(ms.index)
-            duration = volume / decision.speed
-            if not math.isfinite(duration):
-                raise SimulationError(
-                    f"job {decision.job_id} has infinite duration on machine {ms.index}"
-                )
-            ms.pending.remove(decision.job_id)
-            ms.running = RunningInfo(
-                job=job, start=t, finish=t + duration, speed=decision.speed
-            )
-            queue.push_completion(t + duration, decision.job_id, ms.index, ms.version)
+        return {"events": event_count, "energy": energy}
 
 
 def run_speed_policy(instance: Instance, policy: SpeedScalingPolicy) -> SimulationResult:

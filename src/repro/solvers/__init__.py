@@ -1,0 +1,46 @@
+"""Solver registry and the :func:`repro.solve` facade.
+
+This subpackage is the algorithm-agnostic entry point to every scheduler in
+the package:
+
+* :mod:`repro.solvers.registry` — string-keyed registry of
+  :class:`SolverSpec` entries with capability metadata (execution model,
+  objective, rejection support, parameter schema);
+* :mod:`repro.solvers.catalog` — the built-in registrations (imported lazily
+  on first lookup);
+* :mod:`repro.solvers.facade` — :func:`solve` (validate parameters, pick the
+  engine, return a uniform :class:`SolveOutcome`) and :func:`make_policy`
+  (construction half only, for callers driving an engine directly);
+* :mod:`repro.solvers.outcome` — the :class:`SolveOutcome` /
+  :class:`ReferenceRun` result types.
+"""
+
+from repro.solvers.registry import (
+    MODELS,
+    OBJECTIVES,
+    ParamSpec,
+    SolverSpec,
+    available_algorithms,
+    get_solver,
+    list_algorithms,
+    register_solver,
+    unregister_solver,
+)
+from repro.solvers.outcome import ReferenceRun, SolveOutcome
+from repro.solvers.facade import make_policy, solve
+
+__all__ = [
+    "MODELS",
+    "OBJECTIVES",
+    "ParamSpec",
+    "SolverSpec",
+    "ReferenceRun",
+    "SolveOutcome",
+    "available_algorithms",
+    "get_solver",
+    "list_algorithms",
+    "make_policy",
+    "register_solver",
+    "unregister_solver",
+    "solve",
+]

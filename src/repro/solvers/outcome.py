@@ -1,0 +1,95 @@
+"""Uniform outcome type returned by :func:`repro.solve`.
+
+A :class:`SolveOutcome` bundles what every caller of the facade needs
+regardless of which engine (or reference computation) produced it: the
+objective value under the algorithm's declared objective, a per-component
+breakdown, and the rejection statistics both theorems budget against.
+Engine-backed runs additionally carry the full
+:class:`~repro.simulation.schedule.SimulationResult` and
+:class:`~repro.simulation.metrics.ResultSummary`; reference solvers leave
+``result``/``summary`` as ``None``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.simulation.metrics import ResultSummary
+from repro.simulation.schedule import SimulationResult
+
+
+@dataclass
+class ReferenceRun:
+    """What a ``reference``-model runner returns to the facade.
+
+    ``breakdown`` holds named objective components (e.g. ``energy``,
+    ``flow_time``); ``extras`` is free-form diagnostic payload (schedules,
+    profiles, block structures) surfaced on the outcome.
+    """
+
+    label: str
+    objective_value: float
+    breakdown: dict[str, float] = field(default_factory=dict)
+    extras: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class SolveOutcome:
+    """Uniform result of ``repro.solve(instance, algorithm, **params)``.
+
+    Attributes
+    ----------
+    algorithm:
+        Registry id the solve was dispatched under.
+    label:
+        Human-readable scheduler label (e.g. ``rejection-flow-time(eps=0.5,r1+r2)``).
+    model / objective:
+        Capability metadata of the solver that ran.
+    objective_value:
+        The solver's cost under its declared objective.
+    breakdown:
+        Named objective components (flow time, weighted flow time, energy, ...).
+    rejected_count / rejected_fraction / rejected_weight_fraction:
+        Rejection statistics (zero for solvers that never reject).
+    params:
+        The validated parameters the solver actually ran with (defaults
+        filled in).
+    result / summary:
+        Full simulation result and metric summary for engine-backed runs;
+        ``None`` for reference solvers.
+    policy:
+        The policy object that ran (engine models built via a factory), for
+        callers that need post-run internals such as dual variables.
+    extras:
+        Free-form diagnostics (policy diagnostics, reference payloads).
+    """
+
+    algorithm: str
+    label: str
+    model: str
+    objective: str
+    objective_value: float
+    breakdown: dict[str, float] = field(default_factory=dict)
+    rejected_count: int = 0
+    rejected_fraction: float = 0.0
+    rejected_weight_fraction: float = 0.0
+    params: dict[str, Any] = field(default_factory=dict)
+    result: SimulationResult | None = None
+    summary: ResultSummary | None = None
+    policy: Any = None
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    def as_row(self) -> dict[str, Any]:
+        """Flat JSON-able view used by report tables and the CLI."""
+        return {
+            "algorithm": self.algorithm,
+            "label": self.label,
+            "model": self.model,
+            "objective": self.objective,
+            "objective_value": self.objective_value,
+            "rejected_count": self.rejected_count,
+            "rejected_fraction": self.rejected_fraction,
+            "rejected_weight_fraction": self.rejected_weight_fraction,
+            **{f"breakdown_{name}": value for name, value in sorted(self.breakdown.items())},
+        }

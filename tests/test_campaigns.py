@@ -182,7 +182,7 @@ class TestRunnerDeterminism:
 class TestGrids:
     def test_available_grids(self):
         grids = available_grids()
-        assert {"smoke", "small", "medium"} <= set(grids)
+        assert {"smoke", "small", "medium", "solvers"} <= set(grids)
         assert all(description for description in grids.values())
 
     def test_unknown_grid(self):
@@ -191,7 +191,15 @@ class TestGrids:
 
     def test_small_grid_covers_all_experiments(self):
         tasks = get_grid("small").tasks()
-        assert {task.experiment_id for task in tasks} == {f"E{i}" for i in range(1, 10)}
+        assert {task.experiment_id for task in tasks} == {f"E{i}" for i in range(1, 11)}
+
+    def test_solvers_grid_sweeps_algorithms(self):
+        grid = get_grid("solvers")
+        variants = {entry.variant for entry in grid.entries}
+        assert {"rejection-flow", "greedy", "fcfs"} <= variants
+        for task in grid.tasks():
+            assert task.experiment_id == "E10"
+            assert dict(task.overrides)["algorithms"] == (task.variant,)
 
     def test_seedless_experiments_get_one_task(self):
         tasks = get_grid("small").tasks()

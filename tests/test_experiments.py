@@ -1,4 +1,4 @@
-"""Smoke tests for the experiment suite (E1-E9) at miniature scale."""
+"""Smoke tests for the experiment suite (E1-E10) at miniature scale."""
 
 import pytest
 
@@ -9,7 +9,7 @@ from repro.experiments import EXPERIMENTS, available_experiments, run_experiment
 
 class TestRegistry:
     def test_all_experiments_listed(self):
-        assert set(available_experiments()) == {f"E{i}" for i in range(1, 10)}
+        assert set(available_experiments()) == {f"E{i}" for i in range(1, 11)}
 
     def test_descriptions_non_empty(self):
         assert all(description for description in available_experiments().values())
@@ -96,3 +96,12 @@ class TestExperimentRuns:
         self._check(result)
         rows = {row["rules"]: row for row in result.raw["rows"]}
         assert rows["no rejection"]["flow_time"] >= rows["both rules"]["flow_time"]
+
+    def test_e10_solver_compare(self):
+        result = run_experiment(
+            "E10", algorithms=("rejection-flow", "greedy", "srpt-pooled"), num_jobs=30
+        )
+        self._check(result)
+        rows = result.tables[0].rows
+        assert [row["algorithm"] for row in rows] == ["rejection-flow", "greedy", "srpt-pooled"]
+        assert all(row["objective_value"] > 0 for row in rows)

@@ -1,0 +1,269 @@
+"""Tests for the solver registry and the ``repro.solve()`` facade."""
+
+import pytest
+
+import repro
+from repro.cli import main
+from repro.exceptions import (
+    InvalidParameterError,
+    SolverModelError,
+    UnknownAlgorithmError,
+)
+from repro.simulation.decisions import ArrivalDecision, Rejection, StartDecision
+from repro.simulation.engine import FlowTimeEngine, FlowTimePolicy
+from repro.simulation.speed_engine import SpeedArrivalDecision, SpeedRejection
+from repro.solvers import (
+    ParamSpec,
+    SolverSpec,
+    available_algorithms,
+    get_solver,
+    list_algorithms,
+    make_policy,
+    register_solver,
+    solve,
+    unregister_solver,
+)
+from repro.workloads.generators import (
+    DeadlineInstanceGenerator,
+    InstanceGenerator,
+    WeightedInstanceGenerator,
+)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return InstanceGenerator(num_machines=3, seed=7).generate(40)
+
+
+@pytest.fixture(scope="module")
+def weighted_instance():
+    return WeightedInstanceGenerator(num_machines=2, alpha=2.0, seed=7).generate(30)
+
+
+class TestRegistry:
+    def test_every_scheduler_is_registered(self):
+        expected = {
+            # core algorithms
+            "rejection-flow", "rejection-energy-flow", "config-lp-energy",
+            # online baselines
+            "greedy", "fcfs", "immediate-rejection", "speed-augmentation",
+            "energy-flow-no-rejection",
+            # preemptive / offline references
+            "hdf-preemptive", "srpt-pooled", "avr", "yds", "offline-list",
+            "brute-force-flow", "brute-force-energy",
+        }
+        assert expected <= set(available_algorithms())
+
+    def test_capability_metadata(self):
+        rows = {row["algorithm"]: row for row in list_algorithms()}
+        assert rows["rejection-flow"]["model"] == "fixed-speed"
+        assert rows["rejection-flow"]["supports_rejection"] is True
+        assert rows["rejection-energy-flow"]["model"] == "speed-scaling"
+        assert rows["rejection-energy-flow"]["objective"] == "weighted-flow-time+energy"
+        assert rows["yds"]["model"] == "reference"
+        assert rows["greedy"]["supports_rejection"] is False
+
+    def test_unknown_algorithm(self, instance):
+        with pytest.raises(UnknownAlgorithmError, match="rejection-flow"):
+            solve(instance, "definitely-not-an-algorithm")
+
+    def test_unknown_algorithm_is_invalid_parameter(self, instance):
+        # callers catching the broader class keep working
+        with pytest.raises(InvalidParameterError):
+            get_solver("nope")
+
+    def test_duplicate_registration_rejected(self):
+        spec = get_solver("fcfs")
+        with pytest.raises(InvalidParameterError, match="already registered"):
+            register_solver(spec)
+
+    def test_spec_validates_model_and_objective(self):
+        with pytest.raises(InvalidParameterError, match="unknown model"):
+            SolverSpec(algorithm_id="x", model="quantum", objective="energy",
+                       description="", factory=lambda: None)
+        with pytest.raises(InvalidParameterError, match="unknown objective"):
+            SolverSpec(algorithm_id="x", model="reference", objective="makespan",
+                       description="", runner=lambda instance: None)
+
+
+class TestParamValidation:
+    def test_unknown_param(self, instance):
+        with pytest.raises(InvalidParameterError, match="unknown parameter"):
+            solve(instance, "rejection-flow", epsilon=0.5, turbo=True)
+
+    def test_out_of_range_epsilon(self, instance):
+        with pytest.raises(InvalidParameterError, match="epsilon"):
+            solve(instance, "rejection-flow", epsilon=0.0)
+        with pytest.raises(InvalidParameterError, match="epsilon"):
+            solve(instance, "rejection-flow", epsilon=-0.5)
+
+    def test_epsilon_above_one_keeps_permissive_interpretation(self, instance):
+        # check_epsilon accepts epsilon >= 1 (the rules just fire more often);
+        # the registry schema must not narrow what direct construction allows.
+        outcome = solve(instance, "rejection-flow", epsilon=1.5)
+        assert outcome.rejected_fraction <= 1.0
+
+    def test_tuple_param_accepts_comma_separated_string(self, instance):
+        outcome = solve(instance, "offline-list", orderings="spt,release")
+        assert outcome.params["orderings"] == ("spt", "release")
+
+    def test_wrong_type(self, instance):
+        with pytest.raises(InvalidParameterError, match="expects float"):
+            solve(instance, "rejection-flow", epsilon="half")
+        with pytest.raises(InvalidParameterError, match="expects a bool"):
+            solve(instance, "rejection-flow", enable_rule1=1)
+
+    def test_bad_choice(self, instance):
+        with pytest.raises(InvalidParameterError, match="one of"):
+            solve(instance, "greedy", local_order="lifo")
+
+    def test_defaults_filled_in(self, instance):
+        outcome = solve(instance, "rejection-flow")
+        assert outcome.params["epsilon"] == 0.5
+        assert outcome.params["enable_rule1"] is True
+
+    def test_int_coerced_to_float(self, instance):
+        spec = ParamSpec("x", float, minimum=0.0)
+        assert spec.validate(1) == 1.0 and isinstance(spec.validate(1), float)
+
+
+class TestModelDispatch:
+    def test_model_pin_matches(self, instance):
+        outcome = solve(instance, "greedy", model="fixed-speed")
+        assert outcome.model == "fixed-speed"
+
+    def test_model_mismatch_raises(self, instance):
+        with pytest.raises(SolverModelError, match="fixed-speed"):
+            solve(instance, "greedy", model="speed-scaling")
+        with pytest.raises(SolverModelError):
+            solve(instance, "rejection-energy-flow", model="fixed-speed")
+
+    def test_factory_producing_wrong_policy_type(self, instance):
+        register_solver(
+            SolverSpec(
+                algorithm_id="test-wrong-model",
+                model="speed-scaling",
+                objective="weighted-flow-time+energy",
+                description="factory lies about its model",
+                factory=lambda: make_policy("fcfs"),
+            )
+        )
+        try:
+            with pytest.raises(SolverModelError, match="not a SpeedScalingPolicy"):
+                solve(instance, "test-wrong-model")
+        finally:
+            unregister_solver("test-wrong-model")
+
+
+class TestSolveOutcomes:
+    def test_solve_matches_direct_engine_run(self, instance):
+        outcome = solve(instance, "rejection-flow", epsilon=0.5)
+        direct = FlowTimeEngine(instance).run(repro.RejectionFlowTimeScheduler(epsilon=0.5))
+        assert outcome.objective_value == pytest.approx(
+            sum(r.flow_time for r in direct.records.values())
+        )
+        assert outcome.label == direct.algorithm
+        assert outcome.summary.rejected_count == outcome.rejected_count
+        assert isinstance(outcome.policy, FlowTimePolicy)
+        assert outcome.extras["rule1_events"] >= 0  # diagnostics merged
+
+    def test_speed_scaling_outcome(self, weighted_instance):
+        outcome = solve(weighted_instance, "rejection-energy-flow", epsilon=0.5)
+        assert outcome.model == "speed-scaling"
+        assert outcome.breakdown["energy"] > 0
+        assert outcome.objective_value == pytest.approx(
+            outcome.breakdown["weighted_flow_time"] + outcome.breakdown["energy"]
+        )
+        assert 0 <= outcome.rejected_weight_fraction <= 0.5 + 1e-9
+
+    def test_reference_outcome_has_no_result(self, instance):
+        outcome = solve(instance, "srpt-pooled")
+        assert outcome.result is None and outcome.summary is None
+        assert outcome.objective_value > 0
+        assert outcome.breakdown == {"flow_time": outcome.objective_value}
+
+    def test_reference_energy_solver(self):
+        instance = DeadlineInstanceGenerator(
+            num_machines=1, slack=3.0, alpha=2.0, seed=3
+        ).generate(6)
+        yds_outcome = solve(instance, "yds")
+        avr_outcome = solve(instance, "avr")
+        # AVR is 2^(alpha-1) alpha^alpha-competitive against optimal YDS
+        assert yds_outcome.objective_value <= avr_outcome.objective_value + 1e-9
+
+    def test_runner_backed_engine_model(self, instance):
+        outcome = solve(instance, "speed-augmentation", epsilon_speed=0.5, epsilon_reject=0.2)
+        assert outcome.model == "fixed-speed"
+        assert outcome.result is not None
+        assert outcome.extras["epsilon_speed"] == 0.5
+
+    def test_as_row_is_flat(self, instance):
+        row = solve(instance, "rejection-flow").as_row()
+        assert row["algorithm"] == "rejection-flow"
+        assert all(not isinstance(v, (dict, list)) for v in row.values())
+
+    def test_make_policy_rejects_reference_algorithms(self):
+        with pytest.raises(InvalidParameterError, match="not policy-based"):
+            make_policy("yds")
+
+    def test_top_level_exports(self):
+        assert repro.solve is solve
+        assert callable(repro.list_algorithms)
+        assert callable(repro.run_policy)
+        assert callable(repro.run_speed_policy)
+
+
+class TestSharedDecisionTypes:
+    def test_speed_aliases_are_shared_types(self):
+        assert SpeedArrivalDecision is ArrivalDecision
+        assert SpeedRejection is Rejection
+
+    def test_start_decision_positive_speed(self):
+        with pytest.raises(Exception, match="positive"):
+            StartDecision(job_id=0, speed=0.0)
+
+
+class TestSolveCli:
+    def test_list_algorithms_output(self, capsys):
+        assert main(["solve", "--list-algorithms"]) == 0
+        out = capsys.readouterr().out
+        for algorithm in ("rejection-flow", "rejection-energy-flow", "yds", "greedy"):
+            assert algorithm in out
+        assert "fixed-speed" in out and "speed-scaling" in out and "reference" in out
+
+    def test_solve_run(self, capsys):
+        assert main([
+            "solve", "--algorithm", "rejection-flow", "--param", "epsilon=0.5",
+            "--jobs", "30", "--machines", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "objective     : total-flow-time" in out
+        assert "rejected" in out
+
+    def test_solve_unknown_algorithm_exit_code(self, capsys):
+        assert main(["solve", "--algorithm", "nope"]) == 2
+        assert "unknown algorithm" in capsys.readouterr().err
+
+    def test_solve_bad_param_exit_code(self, capsys):
+        assert main([
+            "solve", "--algorithm", "rejection-flow", "--param", "epsilon=0", "--jobs", "10",
+        ]) == 2
+        assert "epsilon" in capsys.readouterr().err
+
+    def test_solve_malformed_param(self, capsys):
+        assert main(["solve", "--param", "epsilon0.5", "--jobs", "10"]) == 2
+        assert "NAME=VALUE" in capsys.readouterr().err
+
+
+class TestSolverCompareExperiment:
+    def test_e10_rows_per_algorithm(self):
+        from repro.experiments import run_experiment
+
+        result = run_experiment(
+            "E10", algorithms=("rejection-flow", "greedy", "srpt-pooled"), num_jobs=25
+        )
+        assert [row["algorithm"] for row in result.tables[0].rows] == [
+            "rejection-flow", "greedy", "srpt-pooled",
+        ]
+        models = {row["algorithm"]: row["model"] for row in result.tables[0].rows}
+        assert models["srpt-pooled"] == "reference"
