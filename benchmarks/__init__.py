@@ -1,0 +1,6 @@
+"""Benchmark suite: pytest-benchmark scripts plus the unified harness.
+
+``bench_e*.py`` are the interactive pytest-benchmark experiments
+(``pytest benchmarks/ --benchmark-only``); ``harness.py`` is the
+artifact-emitting runner CI uses (``python -m benchmarks.harness``).
+"""

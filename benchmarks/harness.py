@@ -1,0 +1,24 @@
+"""Command-line entry point for the unified benchmark harness.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python -m benchmarks.harness --quick --out bench-artifacts
+    PYTHONPATH=src python -m benchmarks.harness --list
+    PYTHONPATH=src python -m benchmarks.harness --quick \
+        --baseline benchmarks/baselines --max-regression 0.25
+
+The heavy lifting lives in :mod:`repro.benchmarking` (also exposed as the
+``repro bench`` subcommand); this wrapper only exists so the benchmarks
+directory remains the single place to look for performance tooling.  Each run
+emits one canonical-JSON ``BENCH_<slug>.json`` per benchmark with the schema
+``{bench, n_jobs, median_s, events_per_sec, fingerprint, ...}``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.benchmarking import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,7 +28,7 @@ class FCFSScheduler(FlowTimePolicy):
         """Total work queued on ``machine`` plus the job's own size there."""
         running = state.running(machine)
         backlog = running.remaining_work(state.time) if running is not None else 0.0
-        backlog += state.pending_total_size(machine)
+        backlog += state.pending_size_sum(machine)
         return backlog + job.size_on(machine)
 
     def on_arrival(self, t: float, job: Job, state: EngineState) -> ArrivalDecision:
@@ -43,10 +43,11 @@ class FCFSScheduler(FlowTimePolicy):
             raise InvalidParameterError(f"job {job.id} cannot run on any machine")
         return ArrivalDecision.dispatch(best_machine)
 
+    def priority_key(self, job: Job, machine: int) -> tuple[float, int]:
+        """Static release order for the indexed engine."""
+        return (job.release, job.id)
+
     def select_next(self, t: float, machine: int, state: EngineState) -> int | None:
         """Run pending jobs in release order."""
-        pending = state.pending_jobs(machine)
-        if not pending:
-            return None
-        chosen = min(pending, key=lambda job: (job.release, job.id))
-        return chosen.id
+        chosen = state.pending_argmin(machine, self.priority_key)
+        return None if chosen is None else chosen.id

@@ -11,7 +11,7 @@ rules close.
 
 from __future__ import annotations
 
-from repro.core.ordering import spt_key, split_by_precedence
+from repro.core.ordering import spt_key
 from repro.exceptions import InvalidParameterError
 from repro.simulation.decisions import ArrivalDecision
 from repro.simulation.engine import FlowTimePolicy
@@ -35,6 +35,9 @@ class GreedyDispatchScheduler(FlowTimePolicy):
         if local_order not in ("spt", "fcfs"):
             raise InvalidParameterError(f"unknown local order {local_order!r}")
         self.local_order = local_order
+        # The SPT marginal needs preceding/succeeding order statistics; the
+        # FCFS variant only needs the total backlog (an O(1) running sum).
+        self.wants_prefix_stats = local_order == "spt"
         self.name = f"greedy-no-rejection({local_order})"
 
     def reset(self, instance: Instance) -> None:
@@ -51,19 +54,19 @@ class GreedyDispatchScheduler(FlowTimePolicy):
         p_ij = job.size_on(machine)
         running = state.running(machine)
         backlog = running.remaining_work(state.time) if running is not None else 0.0
-        pending = state.pending_jobs(machine)
         if self.local_order == "spt":
-            preceding, succeeding = split_by_precedence(job, pending, machine, weighted=False)
-            waiting = sum(other.size_on(machine) for other in preceding)
-            return backlog + waiting + p_ij + len(succeeding) * p_ij
-        waiting = sum(other.size_on(machine) for other in pending)
-        return backlog + waiting + p_ij
+            waiting, succeeding = state.pending_spt_stats(machine, job)
+            return backlog + waiting + p_ij + succeeding * p_ij
+        return backlog + state.pending_size_sum(machine) + p_ij
 
     def on_arrival(self, t: float, job: Job, state: EngineState) -> ArrivalDecision:
         """Dispatch to the machine with the smallest marginal increase."""
         best_machine: int | None = None
         best_value = float("inf")
-        for machine in job.eligible_machines():
+        inf = float("inf")
+        for machine, p_ij in enumerate(job.sizes):
+            if p_ij == inf:
+                continue
             value = self.marginal_increase(job, machine, state)
             if value < best_value:
                 best_machine, best_value = machine, value
@@ -71,13 +74,13 @@ class GreedyDispatchScheduler(FlowTimePolicy):
             raise InvalidParameterError(f"job {job.id} cannot run on any machine")
         return ArrivalDecision.dispatch(best_machine)
 
+    def priority_key(self, job: Job, machine: int) -> tuple:
+        """Static local order (SPT or release order) for the indexed engine."""
+        if self.local_order == "spt":
+            return spt_key(job, machine)
+        return (job.release, job.id)
+
     def select_next(self, t: float, machine: int, state: EngineState) -> int | None:
         """Run pending jobs in the configured local order."""
-        pending = state.pending_jobs(machine)
-        if not pending:
-            return None
-        if self.local_order == "spt":
-            chosen = min(pending, key=lambda job: spt_key(job, machine))
-        else:
-            chosen = min(pending, key=lambda job: (job.release, job.id))
-        return chosen.id
+        chosen = state.pending_argmin(machine, self.priority_key)
+        return None if chosen is None else chosen.id

@@ -81,7 +81,7 @@ class ImmediateRejectionScheduler(FlowTimePolicy):
         for machine in job.eligible_machines():
             running = state.running(machine)
             backlog = running.remaining_work(state.time) if running is not None else 0.0
-            backlog += state.pending_total_size(machine)
+            backlog += state.pending_size_sum(machine)
             value = backlog + job.size_on(machine)
             if value < best_value:
                 best_machine, best_value = machine, value
@@ -94,7 +94,7 @@ class ImmediateRejectionScheduler(FlowTimePolicy):
             return False
         running = state.running(machine)
         backlog = running.remaining_work(state.time) if running is not None else 0.0
-        backlog += state.pending_total_size(machine)
+        backlog += state.pending_size_sum(machine)
         p = job.size_on(machine)
         if self.variant == "largest":
             # Spend the budget on jobs that are long compared to the queue
@@ -114,10 +114,11 @@ class ImmediateRejectionScheduler(FlowTimePolicy):
             return ArrivalDecision.reject()
         return ArrivalDecision.dispatch(machine)
 
+    def priority_key(self, job: Job, machine: int) -> tuple[float, float, int]:
+        """Static SPT local order for the indexed engine."""
+        return spt_key(job, machine)
+
     def select_next(self, t: float, machine: int, state: EngineState) -> int | None:
         """Run pending jobs shortest-first (the strongest local order)."""
-        pending = state.pending_jobs(machine)
-        if not pending:
-            return None
-        chosen = min(pending, key=lambda job: spt_key(job, machine))
-        return chosen.id
+        chosen = state.pending_argmin(machine, self.priority_key)
+        return None if chosen is None else chosen.id

@@ -142,6 +142,13 @@ _SMALL_OVERRIDES: dict[str, dict[str, Any]] = {
     "E8": {"job_counts": (200,), "machine_counts": (2,)},
     "E9": {"workloads": ("lemma1-L16",), "epsilon": 0.25},
     "E10": {"algorithms": ("rejection-flow", "greedy"), "num_jobs": 40},
+    "E12": {"job_counts": (1_000, 4_000), "algorithms": ("rejection-flow", "greedy")},
+}
+
+#: Sweep-size caps for the ``medium`` grid where the experiment's defaults
+#: are sized for a one-off frontier run rather than a 3-seed campaign.
+_MEDIUM_OVERRIDES: dict[str, dict[str, Any]] = {
+    "E12": {"job_counts": (1_000, 10_000, 50_000)},
 }
 
 #: Algorithms swept by the ``solvers`` grid: E10's default sweep (flow-time
@@ -163,7 +170,7 @@ GRIDS: dict[str, CampaignGrid] = {
         ),
         _grid(
             "small",
-            "all experiments E1-E10 at miniature scale, two seeds each",
+            "all experiments E1-E10 + E12 at miniature scale, two seeds each",
             [
                 GridEntry.create(exp_id, overrides=overrides, num_seeds=2)
                 for exp_id, overrides in _SMALL_OVERRIDES.items()
@@ -171,8 +178,13 @@ GRIDS: dict[str, CampaignGrid] = {
         ),
         _grid(
             "medium",
-            "all experiments E1-E10 at their default sweep sizes, three seeds each",
-            [GridEntry.create(exp_id, num_seeds=3) for exp_id in _SMALL_OVERRIDES],
+            "all experiments E1-E10 + E12 at their default sweep sizes, three seeds each",
+            [
+                GridEntry.create(
+                    exp_id, overrides=_MEDIUM_OVERRIDES.get(exp_id), num_seeds=3
+                )
+                for exp_id in _SMALL_OVERRIDES
+            ],
         ),
         _grid(
             "solvers",

@@ -133,6 +133,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _common_campaign_args(campaign_report)
 
+    # ``repro bench`` is dispatched before parsing (see :func:`main`) so the
+    # harness keeps its own argparse surface; this stub makes it show up in
+    # ``repro --help``.
+    subparsers.add_parser(
+        "bench",
+        help="run the benchmark harness and emit BENCH_<slug>.json artifacts",
+        add_help=False,
+    )
+
     return parser
 
 
@@ -337,7 +346,12 @@ def main(argv: list[str] | None = None, out=None, err=None) -> int:
     """
     out = out or sys.stdout
     err = err or sys.stderr
-    args = build_parser().parse_args(argv)
+    raw_argv = list(sys.argv[1:] if argv is None else argv)
+    if raw_argv[:1] == ["bench"]:
+        from repro.benchmarking import main as bench_main
+
+        return bench_main(raw_argv[1:], prog="repro bench", out=out, err=err)
+    args = build_parser().parse_args(raw_argv)
     try:
         if args.command == "experiments":
             return _cmd_experiments(args, out)

@@ -36,8 +36,9 @@ into the rejection-free greedy baseline.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from heapq import heappop, heappush
 
-from repro.core.ordering import spt_key, split_by_precedence
+from repro.core.ordering import spt_key
 from repro.core.rejection import (
     MachineArrivalCounter,
     RejectionLog,
@@ -103,6 +104,10 @@ class RejectionFlowTimeScheduler(FlowTimePolicy):
         self.name = f"rejection-flow-time(eps={epsilon:g},{suffix})"
         self.reset_state()
 
+    #: The engine maintains Fenwick order statistics over the SPT order so
+    #: ``lambda_ij`` is O(log n) instead of O(queue length) per machine.
+    wants_prefix_stats = True
+
     # -- lifecycle -----------------------------------------------------------------
 
     def reset_state(self) -> None:
@@ -110,6 +115,13 @@ class RejectionFlowTimeScheduler(FlowTimePolicy):
         self._instance: Instance | None = None
         self._rule1: dict[int, RunningJobCounter] = {}
         self._rule2: dict[int, MachineArrivalCounter] = {}
+        #: Per-machine lazy max-heaps over dispatched jobs, keyed so the heap
+        #: head is the Rule-2 victim (largest processing time, ties by
+        #: earliest release then larger id — the order the reference ``max``
+        #: over ``(size, -release, id)`` realised).  Entries go stale when a
+        #: job starts or is rejected and are skipped against the live pending
+        #: set.  Only maintained while Rule 2 is enabled.
+        self._victims: list[list[tuple[tuple[float, float, int], Job]]] = []
         self.lambdas: dict[int, float] = {}
         self.lambda_choices: dict[int, tuple[int, float]] = {}
         self.rule1_events: list[Rule1Event] = []
@@ -123,22 +135,32 @@ class RejectionFlowTimeScheduler(FlowTimePolicy):
         self._rule2 = {
             i: MachineArrivalCounter(self.epsilon) for i in range(instance.num_machines)
         }
+        self._victims = [[] for _ in range(instance.num_machines)]
 
     # -- dispatching ---------------------------------------------------------------
 
     def lambda_ij(self, job: Job, machine: int, state: EngineState) -> float:
-        """The marginal-increase surrogate ``lambda_ij`` of the paper."""
+        """The marginal-increase surrogate ``lambda_ij`` of the paper.
+
+        The waiting sum and the succeeding count come from the engine's
+        indexed pending state (scan for short queues, Fenwick prefix query
+        past the cutoff — see
+        :meth:`~repro.simulation.state.EngineState.pending_spt_stats`);
+        on a detached :class:`EngineState` (unit tests, custom tooling) the
+        scan branch reproduces the reference formulation bit-for-bit.
+        """
         p_ij = job.size_on(machine)
-        pending = state.pending_jobs(machine)
-        preceding, succeeding = split_by_precedence(job, pending, machine, weighted=False)
-        waiting = sum(other.size_on(machine) for other in preceding)
-        return (p_ij / self.epsilon) + (waiting + p_ij) + len(succeeding) * p_ij
+        waiting, succeeding = state.pending_spt_stats(machine, job)
+        return (p_ij / self.epsilon) + (waiting + p_ij) + succeeding * p_ij
 
     def on_arrival(self, t: float, job: Job, state: EngineState) -> ArrivalDecision:
         """Dispatch ``job`` to the machine minimising ``lambda_ij`` and apply the rules."""
         best_machine: int | None = None
         best_lambda = float("inf")
-        for machine in job.eligible_machines():
+        inf = float("inf")
+        for machine, p_ij in enumerate(job.sizes):
+            if p_ij == inf:
+                continue
             lam = self.lambda_ij(job, machine, state)
             if lam < best_lambda:
                 best_machine, best_lambda = machine, lam
@@ -172,18 +194,15 @@ class RejectionFlowTimeScheduler(FlowTimePolicy):
         # Rule 2: one more dispatch to the chosen machine; on firing, evict the
         # pending job (including the one arriving right now) with the largest
         # processing time on that machine.
+        push_arriving = True
         if self.enable_rule2:
             counter2 = self._rule2[best_machine]
             if counter2.record_dispatch():
-                candidates = [
-                    other
-                    for other in state.pending_jobs(best_machine)
-                    if all(other.id != r.job_id for r in rejections)
-                ]
-                candidates.append(job)
-                victim = max(
-                    candidates, key=lambda cand: (cand.size_on(best_machine), -cand.release, cand.id)
-                )
+                victim = self._rule2_victim(job, best_machine, state)
+                if victim.id == job.id:
+                    # The arriving job is evicted before ever becoming
+                    # pending; keep it out of the victim heap.
+                    push_arriving = False
                 adjustment = self._rule2_adjustment(t, job, victim, best_machine, state)
                 rejections.append(Rejection(victim.id, reason="rule2"))
                 self.rule2_events.append(
@@ -193,7 +212,38 @@ class RejectionFlowTimeScheduler(FlowTimePolicy):
                 )
                 self.log.rule2.append(victim.id)
 
+        if self.enable_rule2 and push_arriving:
+            heappush(self._victims[best_machine], (self._victim_key(job, best_machine), job))
         return ArrivalDecision.dispatch(best_machine, rejections)
+
+    @staticmethod
+    def _victim_key(job: Job, machine: int) -> tuple[float, float, int]:
+        """Min-heap key whose minimum is the Rule-2 victim.
+
+        Rule 2 evicts the pending job maximising
+        ``(size on machine, -release, id)``; negating every component turns
+        that maximum into a heap minimum, and the id component keeps keys
+        unique.
+        """
+        return (-job.size_on(machine), job.release, -job.id)
+
+    def _rule2_victim(self, arriving: Job, machine: int, state: EngineState) -> Job:
+        """The pending-or-arriving job Rule 2 evicts on ``machine``.
+
+        The per-machine heap contains every job ever dispatched to the
+        machine; entries whose job already started or was rejected are stale
+        and skipped against the live pending set (Rule-1 victims are running,
+        hence not pending, hence skipped automatically).  The arriving job is
+        not in the heap yet and is compared against the head directly.
+        """
+        heap = self._victims[machine]
+        pending = state.machine_pending(machine)
+        while heap and heap[0][1].id not in pending:
+            heappop(heap)
+        arriving_key = self._victim_key(arriving, machine)
+        if not heap or arriving_key < heap[0][0]:
+            return arriving
+        return heap[0][1]
 
     def _rule2_adjustment(
         self, t: float, arriving: Job, victim: Job, machine: int, state: EngineState
@@ -208,21 +258,29 @@ class RejectionFlowTimeScheduler(FlowTimePolicy):
         """
         running = state.running(machine)
         remaining = running.remaining_work(t) if running is not None else 0.0
-        pending_total = sum(
-            other.size_on(machine)
-            for other in state.pending_jobs(machine)
-            if other.id != arriving.id
-        )
+        if state.engine_attached:
+            # Engine-maintained O(1) running total; the arriving job is not
+            # pending yet, so no exclusion is needed.
+            pending_total = state.pending_size_sum(machine)
+        else:
+            pending_total = sum(
+                other.size_on(machine)
+                for other in state.pending_jobs(machine)
+                if other.id != arriving.id
+            )
         return remaining + pending_total + victim.size_on(machine)
 
     # -- local scheduling ----------------------------------------------------------
 
+    def priority_key(self, job: Job, machine: int) -> tuple[float, float, int]:
+        """Static SPT local order — lets the engine index the pending sets."""
+        return spt_key(job, machine)
+
     def select_next(self, t: float, machine: int, state: EngineState) -> int | None:
         """Start the pending job that precedes all others in the SPT order."""
-        pending = state.pending_jobs(machine)
-        if not pending:
+        chosen = state.pending_argmin(machine, self.priority_key)
+        if chosen is None:
             return None
-        chosen = min(pending, key=lambda job: spt_key(job, machine))
         if self.enable_rule1:
             self._rule1[machine] = _TrackedCounter(
                 job_id=chosen.id, counter=RunningJobCounter(self.epsilon)

@@ -197,13 +197,22 @@ class RejectionEnergyFlowScheduler(SpeedScalingPolicy):
 
     # -- local scheduling ----------------------------------------------------------
 
+    def priority_key(self, job: Job, machine: int) -> tuple[float, float, int]:
+        """Static highest-density-first local order for the indexed engine."""
+        return density_key(job, machine)
+
     def select_next(self, t: float, machine: int, state: EngineState) -> StartDecision | None:
-        """Start the highest-density pending job at speed ``gamma * (total weight)^(1/alpha)``."""
-        pending = state.pending_jobs(machine)
-        if not pending:
+        """Start the highest-density pending job at speed ``gamma * (total weight)^(1/alpha)``.
+
+        The argmin comes from the indexed pending state; the weight total —
+        which feeds the chosen speed — is still summed over the pending set
+        in dispatch order, so the float result matches the scan path exactly.
+        """
+        chosen = state.pending_argmin(machine, self.priority_key)
+        if chosen is None:
             return None
-        chosen = min(pending, key=lambda job: density_key(job, machine))
-        total_weight = sum(job.weight for job in pending)
+        jobs = state.jobs_by_id
+        total_weight = sum(jobs[job_id].weight for job_id in state.machine_pending(machine))
         speed = self.gamma * total_weight ** (1.0 / self.alpha)
         if self.enable_rejection:
             self._counters[machine] = _TrackedWeightedCounter(

@@ -126,6 +126,12 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
             "SolverCompareConfig",
             "Algorithm sweep through the unified solver registry (repro.solve)",
         ),
+        ExperimentSpec(
+            "E12",
+            "repro.experiments.exp_scalability_frontier",
+            "ScalabilityFrontierConfig",
+            "Scalability frontier: chunked generators + indexed dispatch up to 100k jobs",
+        ),
     )
 }
 

@@ -23,7 +23,14 @@ from repro.simulation.schedule import (
     SimulationResult,
 )
 from repro.simulation.decisions import ArrivalDecision, Rejection, StartDecision
-from repro.simulation.engine import FlowTimeEngine, FlowTimePolicy, NonPreemptiveEngine, run_policy
+from repro.simulation.engine import (
+    FlowTimeEngine,
+    FlowTimePolicy,
+    NonPreemptiveEngine,
+    default_dispatch_mode,
+    run_policy,
+)
+from repro.simulation.indexed import IndexedPending, PendingPrefixStats
 from repro.simulation.speed_engine import (
     SpeedScalingEngine,
     SpeedScalingPolicy,
@@ -54,6 +61,9 @@ __all__ = [
     "FlowTimeEngine",
     "FlowTimePolicy",
     "NonPreemptiveEngine",
+    "IndexedPending",
+    "PendingPrefixStats",
+    "default_dispatch_mode",
     "ArrivalDecision",
     "Rejection",
     "SpeedScalingEngine",

@@ -31,11 +31,13 @@ attach to the result.
 from __future__ import annotations
 
 import math
+import os
 from abc import ABC, abstractmethod
 
 from repro.exceptions import SimulationError
 from repro.simulation.decisions import ArrivalDecision, Rejection
 from repro.simulation.events import Event, EventKind, EventQueue
+from repro.simulation.indexed import IndexedPending, PendingPrefixStats, build_priority_ranks
 from repro.simulation.instance import Instance
 from repro.simulation.job import Job
 from repro.simulation.schedule import ExecutionInterval, JobRecord, SimulationResult
@@ -48,7 +50,28 @@ __all__ = [
     "FlowTimeEngine",
     "NonPreemptiveEngine",
     "run_policy",
+    "default_dispatch_mode",
 ]
+
+#: Recognised dispatch modes: ``"indexed"`` answers select-next argmins from
+#: lazily-invalidated per-machine heaps (see :mod:`repro.simulation.indexed`);
+#: ``"scan"`` keeps the reference linear scans.  Both produce byte-identical
+#: schedules; the equivalence suite asserts it.
+DISPATCH_MODES = ("indexed", "scan")
+
+#: Environment override for the default mode, read at engine construction so
+#: campaign worker processes and tests can pin it without code changes.
+DISPATCH_ENV_VAR = "REPRO_DISPATCH"
+
+
+def default_dispatch_mode() -> str:
+    """The dispatch mode engines use when none is passed explicitly."""
+    mode = os.environ.get(DISPATCH_ENV_VAR, "indexed")
+    if mode not in DISPATCH_MODES:
+        raise SimulationError(
+            f"{DISPATCH_ENV_VAR} must be one of {DISPATCH_MODES}, got {mode!r}"
+        )
+    return mode
 
 
 class FlowTimePolicy(ABC):
@@ -56,6 +79,21 @@ class FlowTimePolicy(ABC):
 
     #: Human-readable name used in result labels and reports.
     name: str = "flow-time-policy"
+
+    #: Static local-order hook: policies whose pending order never changes
+    #: while a job waits override this with a method
+    #: ``priority_key(job, machine) -> tuple`` (key must end in ``job.id``),
+    #: which lets the engine maintain the select-next argmin in per-machine
+    #: heaps.  ``None`` (the default) keeps scan semantics — correct for any
+    #: policy, mandatory for time-varying keys.
+    priority_key = None
+
+    #: Policies whose dispatch surrogate needs order statistics over the
+    #: pending set (count/size-sum of jobs preceding a candidate in the
+    #: priority order) set this to ``True``; the engine then maintains
+    #: per-machine Fenwick trees the policy queries through
+    #: ``state.prefix_stats``.  Requires ``priority_key``.
+    wants_prefix_stats = False
 
     def reset(self, instance: Instance) -> None:  # noqa: B027 - optional hook
         """Prepare internal state for a new run (default: nothing)."""
@@ -79,8 +117,13 @@ class NonPreemptiveEngine(ABC):
     the fixed-speed and speed-scaling models and lives here.
     """
 
-    def __init__(self, instance: Instance) -> None:
+    def __init__(self, instance: Instance, dispatch: str | None = None) -> None:
         self.instance = instance
+        self.dispatch = default_dispatch_mode() if dispatch is None else dispatch
+        if self.dispatch not in DISPATCH_MODES:
+            raise SimulationError(
+                f"dispatch must be one of {DISPATCH_MODES}, got {self.dispatch!r}"
+            )
 
     # -- public API ----------------------------------------------------------------
 
@@ -90,6 +133,22 @@ class NonPreemptiveEngine(ABC):
         policy.reset(instance)
 
         state = EngineState(instance)
+        key_fn = getattr(policy, "priority_key", None)
+        if not callable(key_fn):
+            key_fn = None
+        index: IndexedPending | None = None
+        stats_factory = None
+        if key_fn is not None:
+            if self.dispatch == "indexed":
+                index = IndexedPending(instance.num_machines, key_fn)
+            if getattr(policy, "wants_prefix_stats", False):
+
+                def stats_factory(key_fn=key_fn):
+                    ranks = build_priority_ranks(instance.jobs, instance.num_machines, key_fn)
+                    return PendingPrefixStats(ranks, instance.num_jobs)
+
+        state.install_priority(key_fn, index, stats_factory)
+
         queue = EventQueue()
         for job in instance.jobs:
             queue.push_arrival(job.release, job.id)
@@ -98,19 +157,32 @@ class NonPreemptiveEngine(ABC):
         intervals: list[ExecutionInterval] = []
         dispatched_machine: dict[int, int] = {}
         event_count = 0
+        # Machines whose policy declined to start despite pending work; they
+        # must be re-offered at every event (pre-index semantics) because
+        # their answer may depend on global state the event did not touch.
+        recheck: set[int] = set()
 
         while queue:
             event = queue.pop()
             state.time = event.time
             event_count += 1
 
+            # Only machines the event touched can newly become startable:
+            # the completion's machine, the dispatch target, and any machine
+            # a rejection freed.  Shipped policies start whenever they have
+            # pending work, so untouched machines are either running or have
+            # an empty queue; ``recheck`` covers deliberately idling policies.
             if event.kind == EventKind.COMPLETION:
                 self._handle_completion(event, state, records, intervals)
+                touched = {event.machine}
             else:
-                self._handle_arrival(event, policy, state, records, intervals, dispatched_machine)
+                touched = self._handle_arrival(
+                    event, policy, state, records, intervals, dispatched_machine
+                )
 
-            # After any event, idle machines with pending work may start a job.
-            self._start_idle_machines(event.time, policy, state, queue)
+            if recheck:
+                touched |= recheck
+            self._start_idle_machines(event.time, policy, state, queue, touched, recheck)
 
         self._check_all_jobs_settled(instance, records)
         return SimulationResult(
@@ -182,9 +254,10 @@ class NonPreemptiveEngine(ABC):
         records: dict[int, JobRecord],
         intervals: list[ExecutionInterval],
         dispatched_machine: dict[int, int],
-    ) -> None:
+    ) -> set[int]:
         job = state.job(event.job_id)
         decision = policy.on_arrival(event.time, job, state)
+        touched: set[int] = set()
 
         if decision.machine is None:
             records[job.id] = JobRecord(
@@ -208,13 +281,17 @@ class NonPreemptiveEngine(ABC):
                 raise SimulationError(
                     f"policy {policy.name!r} dispatched job {job.id} to forbidden machine {machine}"
                 )
-            state.machines[machine].pending.append(job.id)
+            state.add_pending(machine, job)
             dispatched_machine[job.id] = machine
+            touched.add(machine)
 
         for rejection in decision.rejections:
-            self._apply_rejection(
-                event.time, rejection, state, records, intervals, dispatched_machine
+            touched.add(
+                self._apply_rejection(
+                    event.time, rejection, state, records, intervals, dispatched_machine
+                )
             )
+        return touched
 
     def _apply_rejection(
         self,
@@ -224,7 +301,7 @@ class NonPreemptiveEngine(ABC):
         records: dict[int, JobRecord],
         intervals: list[ExecutionInterval],
         dispatched_machine: dict[int, int],
-    ) -> None:
+    ) -> int:
         job_id = rejection.job_id
         if job_id in records:
             raise SimulationError(f"job {job_id} rejected after it already finished/was rejected")
@@ -257,7 +334,7 @@ class NonPreemptiveEngine(ABC):
                     rejection_time=t,
                     rejection_reason=rejection.reason,
                 )
-                return
+                return ms.index
 
         # Case 2: the job is pending on its dispatched machine.
         machine = dispatched_machine.get(job_id)
@@ -268,7 +345,7 @@ class NonPreemptiveEngine(ABC):
             raise SimulationError(
                 f"cannot reject job {job_id}: not pending on machine {machine}"
             )
-        ms.pending.remove(job_id)
+        state.remove_pending(machine, job_id)
         job = state.job(job_id)
         records[job_id] = JobRecord(
             job_id=job_id,
@@ -281,6 +358,7 @@ class NonPreemptiveEngine(ABC):
             rejection_time=t,
             rejection_reason=rejection.reason,
         )
+        return machine
 
     def _start_idle_machines(
         self,
@@ -288,15 +366,23 @@ class NonPreemptiveEngine(ABC):
         policy,
         state: EngineState,
         queue: EventQueue,
+        machines: set[int],
+        recheck: set[int],
     ) -> None:
-        for ms in state.machines:
+        for machine in sorted(machines):
+            ms = state.machines[machine]
             if ms.running is not None or not ms.pending:
+                recheck.discard(machine)
                 continue
             started = self._pick_start(t, policy, ms, state)
             if started is None:
+                # The policy idles deliberately; keep re-offering this
+                # machine at every future event until it starts something.
+                recheck.add(machine)
                 continue
+            recheck.discard(machine)
             job, speed, duration = started
-            ms.pending.remove(job.id)
+            state.remove_pending(machine, job.id)
             ms.running = RunningInfo(job=job, start=t, finish=t + duration, speed=speed)
             queue.push_completion(t + duration, job.id, ms.index, ms.version)
 
@@ -337,6 +423,8 @@ class FlowTimeEngine(NonPreemptiveEngine):
         return job, machine_spec.speed_factor, duration
 
 
-def run_policy(instance: Instance, policy: FlowTimePolicy) -> SimulationResult:
+def run_policy(
+    instance: Instance, policy: FlowTimePolicy, dispatch: str | None = None
+) -> SimulationResult:
     """Convenience wrapper: simulate ``policy`` on ``instance``."""
-    return FlowTimeEngine(instance).run(policy)
+    return FlowTimeEngine(instance, dispatch=dispatch).run(policy)

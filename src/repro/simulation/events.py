@@ -13,7 +13,7 @@ import heapq
 import itertools
 from dataclasses import dataclass, field
 from enum import IntEnum
-from typing import Iterator
+from typing import Callable, Iterator, Sequence
 
 from repro.exceptions import SimulationError
 
@@ -97,7 +97,38 @@ class EventQueue:
             raise SimulationError("peek on an empty event queue")
         return self._heap[0][0]
 
-    def drain(self) -> Iterator[Event]:
-        """Yield the remaining events in order, emptying the queue."""
-        while self._heap:
-            yield self.pop()
+    def drain(
+        self,
+        is_stale: "Callable[[Event], bool] | None" = None,
+        machine_versions: "Sequence[int] | None" = None,
+    ) -> Iterator[Event]:
+        """Yield the remaining events in order, emptying the queue.
+
+        Draining after early termination must apply the same lazy-deletion
+        filtering the engines use, otherwise completions whose running job
+        was rejected mid-execution come back as dead events.  Two filters
+        are supported (combinable):
+
+        * ``machine_versions`` — the engines' per-machine version stamps
+          (``[ms.version for ms in state.machines]``); completion events
+          whose stamp no longer matches are skipped, exactly like the
+          engines' stale-completion check.  Arrivals always pass.
+        * ``is_stale`` — an arbitrary predicate; events for which it returns
+          ``True`` are skipped.
+
+        The previous implementation popped one event at a time (repeated
+        sift-downs); a single sort of the backing heap does the same
+        O(n log n) work with one pass and no per-event heap restructuring.
+        """
+        entries = sorted(self._heap)
+        self._heap.clear()
+        for entry in entries:
+            event = entry[3]
+            if machine_versions is not None and event.kind == EventKind.COMPLETION:
+                if not (0 <= event.machine < len(machine_versions)):
+                    continue
+                if machine_versions[event.machine] != event.version:
+                    continue
+            if is_stale is not None and is_stale(event):
+                continue
+            yield event

@@ -109,6 +109,30 @@ class Job:
     # -- construction helpers ------------------------------------------------------
 
     @staticmethod
+    def trusted(
+        job_id: int,
+        release: float,
+        sizes: tuple[float, ...],
+        weight: float = 1.0,
+        deadline: float | None = None,
+    ) -> "Job":
+        """Construct a job **without** per-field validation.
+
+        The dataclass ``__post_init__`` checks cost more than everything else
+        in a 100k-job generator loop; bulk producers (the chunked generators
+        in :mod:`repro.workloads.generators`) validate whole numpy chunks at
+        once and then build rows through this trusted path.  Callers are
+        responsible for upholding the invariants ``__post_init__`` enforces.
+        """
+        job = object.__new__(Job)
+        object.__setattr__(job, "id", job_id)
+        object.__setattr__(job, "release", release)
+        object.__setattr__(job, "sizes", sizes)
+        object.__setattr__(job, "weight", weight)
+        object.__setattr__(job, "deadline", deadline)
+        return job
+
+    @staticmethod
     def uniform(
         job_id: int,
         release: float,

@@ -65,6 +65,14 @@ class SpeedScalingPolicy(ABC):
     #: Human-readable name used in result labels and reports.
     name: str = "speed-scaling-policy"
 
+    #: Static local-order hook (see
+    #: :attr:`repro.simulation.engine.FlowTimePolicy.priority_key`); the
+    #: density order of Section 3 is static, so the Theorem 2 policy opts in.
+    priority_key = None
+
+    #: See :attr:`repro.simulation.engine.FlowTimePolicy.wants_prefix_stats`.
+    wants_prefix_stats = False
+
     def reset(self, instance: Instance) -> None:  # noqa: B027 - optional hook
         """Prepare internal state for a new run (default: nothing)."""
 
@@ -107,6 +115,8 @@ class SpeedScalingEngine(NonPreemptiveEngine):
         return {"events": event_count, "energy": energy}
 
 
-def run_speed_policy(instance: Instance, policy: SpeedScalingPolicy) -> SimulationResult:
+def run_speed_policy(
+    instance: Instance, policy: SpeedScalingPolicy, dispatch: str | None = None
+) -> SimulationResult:
     """Convenience wrapper: simulate ``policy`` on ``instance``."""
-    return SpeedScalingEngine(instance).run(policy)
+    return SpeedScalingEngine(instance, dispatch=dispatch).run(policy)

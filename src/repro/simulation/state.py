@@ -9,14 +9,70 @@ bookkeeping, which in turn makes the validators meaningful.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
 
 from repro.exceptions import SimulationError
 from repro.simulation.instance import Instance
 from repro.simulation.job import Job
 
+if TYPE_CHECKING:
+    from repro.simulation.indexed import IndexedPending, PendingPrefixStats
 
-@dataclass
+#: Queue length above which :meth:`EngineState.pending_spt_stats` switches
+#: from the dispatch-order scan to the Fenwick prefix query.  The scan is
+#: cheaper for the short queues the rejection rules maintain on smooth
+#: traffic; the Fenwicks win as soon as queues build up.
+PREFIX_SCAN_CUTOFF = 16
+
+
+class PendingSet:
+    """Insertion-ordered set of pending job ids with O(1) membership and removal.
+
+    Semantically a list of job ids in dispatch order (which is what policies
+    iterate), but backed by a dict so the engine's membership tests and
+    removals are constant time — the difference between O(n) and O(n^2)
+    bookkeeping on 100k-job instances.  The mutating surface mirrors the
+    ``list`` methods the engine (and a few tests) use.
+    """
+
+    __slots__ = ("_items",)
+
+    def __init__(self, ids: Iterable[int] = ()) -> None:
+        self._items: dict[int, None] = dict.fromkeys(ids)
+
+    def append(self, job_id: int) -> None:
+        """Add a job id at the end of the dispatch order."""
+        self._items[job_id] = None
+
+    def extend(self, ids: Iterable[int]) -> None:
+        """Append every id in ``ids`` in order."""
+        for job_id in ids:
+            self._items[job_id] = None
+
+    def remove(self, job_id: int) -> None:
+        """Remove a job id; raises ``ValueError`` when absent (list semantics)."""
+        try:
+            del self._items[job_id]
+        except KeyError:
+            raise ValueError(f"job id {job_id} not pending") from None
+
+    def __contains__(self, job_id: object) -> bool:
+        return job_id in self._items
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PendingSet({list(self._items)!r})"
+
+
+@dataclass(slots=True)
 class RunningInfo:
     """Information about the job currently executing on a machine."""
 
@@ -38,12 +94,12 @@ class RunningInfo:
         return max(0.0, min(t, self.finish) - self.start)
 
 
-@dataclass
+@dataclass(slots=True)
 class MachineState:
     """Mutable per-machine runtime state (owned by the engine)."""
 
     index: int
-    pending: list[int] = field(default_factory=list)
+    pending: PendingSet = field(default_factory=PendingSet)
     running: RunningInfo | None = None
     version: int = 0
 
@@ -66,6 +122,201 @@ class EngineState:
         self.machines: list[MachineState] = [
             MachineState(index=i) for i in range(instance.num_machines)
         ]
+        #: Priority key of the running policy (``priority_key(job, machine)``),
+        #: installed by the engine when the policy declares a static key.
+        self._priority_key: Callable[[Job, int], tuple] | None = None
+        #: Lazily-invalidated per-machine heaps over the pending sets; ``None``
+        #: in scan mode or when the policy has no static key.
+        self._index: "IndexedPending | None" = None
+        #: Fenwick order statistics over the priority order; materialised
+        #: lazily (same in both dispatch modes) the first time a pending set
+        #: outgrows :data:`PREFIX_SCAN_CUTOFF`, so smooth workloads whose
+        #: queues stay short never pay for rank building or tree updates.
+        self.prefix_stats: "PendingPrefixStats | None" = None
+        self._stats_factory: Callable[[], "PendingPrefixStats"] | None = None
+        #: ``True`` while an engine drives this state (mutations flow through
+        #: :meth:`add_pending`/:meth:`remove_pending`, so the running totals
+        #: below are trustworthy).
+        self.engine_attached = False
+        #: Engine-maintained total processing time of each machine's pending
+        #: set (the job's size *on that machine*).  Incremental float sums:
+        #: deterministic, may differ from a fresh scan in the last bits.
+        self._size_sums: list[float] = [0.0] * instance.num_machines
+
+    # -- indexed dispatch ------------------------------------------------------------
+
+    def install_priority(
+        self,
+        key_fn: Callable[[Job, int], tuple] | None,
+        index: "IndexedPending | None",
+        stats_factory: Callable[[], "PendingPrefixStats"] | None = None,
+    ) -> None:
+        """Engine hook: install the policy's static priority key (and heaps).
+
+        With ``index`` set, :meth:`pending_argmin` answers from the heaps;
+        with only ``key_fn`` set it scans the pending set — same argmin,
+        different mechanics (the scan reference path used by the equivalence
+        tests).  ``stats_factory`` builds the Fenwick order statistics on
+        first demand; it is mode-independent: it serves the dispatch
+        surrogates (``lambda_ij``), not the argmin.
+        """
+        self._priority_key = key_fn
+        self._index = index
+        self._stats_factory = stats_factory
+        self.engine_attached = True
+
+    def add_pending(self, machine: int, job: Job) -> None:
+        """Engine hook: ``job`` was dispatched to ``machine`` and now waits there.
+
+        Keeps every installed structure in sync: the authoritative pending
+        set, the running size total, the select-next heap and the prefix
+        Fenwicks.  All engine-side pending mutations go through here and
+        :meth:`remove_pending`.
+        """
+        ms = self.machines[machine]
+        ms.pending.append(job.id)
+        size = job.sizes[machine]
+        self._size_sums[machine] += size
+        if self._index is not None:
+            self._index.push(machine, job)
+        if self.prefix_stats is not None:
+            self.prefix_stats.add(machine, job.id, size)
+
+    def remove_pending(self, machine: int, job_id: int) -> None:
+        """Engine hook: the pending job started or was rejected."""
+        ms = self.machines[machine]
+        ms.pending.remove(job_id)
+        size = self._jobs[job_id].sizes[machine]
+        self._size_sums[machine] -= size
+        # The select-next heaps invalidate lazily: the stale entry is skipped
+        # when it surfaces in argmin.  The Fenwicks support true deletion.
+        if self.prefix_stats is not None:
+            self.prefix_stats.remove(machine, job_id, size)
+
+    def pending_size_sum(self, machine: int) -> float:
+        """Engine-maintained total pending processing time on ``machine``.
+
+        O(1); equal to :meth:`pending_total_size` up to float accumulation
+        order.  Only meaningful while an engine drives the state (direct
+        mutations of ``machines[i].pending`` bypass the running total).
+        """
+        return self._size_sums[machine]
+
+    def pending_spt_stats(self, machine: int, job: Job) -> tuple[float, int]:
+        """``(waiting size sum, succeeding count)`` of ``job`` vs the pending set.
+
+        The two order statistics the SPT-ordered dispatch surrogates need
+        (``lambda_ij``'s waiting term and its delay multiplier): the total
+        size of pending jobs at or before ``job`` in the SPT order
+        ``(size on machine, release, id)``, and the number strictly after it.
+        The job itself is never counted.
+
+        Short queues are scanned in dispatch order — bit-identical to the
+        reference ``split_by_precedence`` + ``sum`` formulation, and correct
+        on detached states; past :data:`PREFIX_SCAN_CUTOFF` the answer comes
+        from the Fenwick trees via :meth:`pending_prefix` (only installed for
+        policies whose ``priority_key`` *is* the SPT order).
+        """
+        pending = self._machine(machine).pending
+        if not pending:
+            return 0.0, 0
+        prefix = self.pending_prefix(machine, job.id)
+        if prefix is not None:
+            preceding, waiting = prefix
+            return waiting, len(pending) - preceding
+        jobs = self._jobs
+        p_ij = job.sizes[machine]
+        key = (p_ij, job.release, job.id)
+        job_id = job.id
+        waiting = 0.0
+        succeeding = 0
+        for other_id in pending:
+            if other_id == job_id:
+                continue
+            other = jobs[other_id]
+            p_other = other.sizes[machine]
+            if (p_other, other.release, other_id) <= key:
+                waiting += p_other
+            else:
+                succeeding += 1
+        return waiting, succeeding
+
+    def pending_prefix(self, machine: int, job_id: int) -> tuple[int, float] | None:
+        """Fenwick ``(count, size sum)`` of pending jobs preceding ``job_id``.
+
+        Returns ``None`` when the caller should scan instead: the queue is
+        within :data:`PREFIX_SCAN_CUTOFF` (a dispatch-order scan is cheaper
+        *and* reproduces the reference float summation bit-for-bit) or the
+        policy never opted into prefix stats.  Past the cutoff the Fenwick
+        trees answer in O(log n) — same count, same sum up to float
+        accumulation order, fully deterministic, and shared by both dispatch
+        modes, so indexed and scan runs stay byte-identical.  Assumes the job
+        itself is not pending (true during dispatch).
+
+        The trees are materialised on first use: rank building and tree
+        updates cost nothing on workloads whose queues stay short.
+        """
+        if len(self.machines[machine].pending) <= PREFIX_SCAN_CUTOFF:
+            return None
+        stats = self.prefix_stats
+        if stats is None:
+            factory = self._stats_factory
+            if factory is None:
+                return None
+            stats = self._materialise_stats(factory)
+        return stats.prefix_of(machine, job_id)
+
+    def _materialise_stats(self, factory: Callable[[], "PendingPrefixStats"]) -> "PendingPrefixStats":
+        """Build the Fenwick trees and load the current pending sets into them.
+
+        Bulk-adds follow machine order then dispatch order, so right after
+        materialisation every tree sum equals the dispatch-order scan sum
+        exactly; drift (float accumulation order) only appears with later
+        removals, and identically in both dispatch modes.
+        """
+        stats = factory()
+        jobs = self._jobs
+        for ms in self.machines:
+            for job_id in ms.pending:
+                stats.add(ms.index, job_id, jobs[job_id].sizes[ms.index])
+        self.prefix_stats = stats
+        self._stats_factory = None
+        return stats
+
+    def pending_argmin(
+        self, machine: int, key_fn: Callable[[Job, int], tuple] | None = None
+    ) -> Job | None:
+        """The pending job minimising the policy's priority key on ``machine``.
+
+        Policies whose local order is static (SPT, density, release order)
+        implement ``select_next`` as
+        ``state.pending_argmin(machine, self.priority_key)``; the engine
+        decides whether the argmin is found through the heaps or by a linear
+        scan.  On a detached state (no engine attached) the passed ``key_fn``
+        drives the scan, so policies keep working outside an engine.  Ties
+        cannot occur: every key ends in the job id.
+        """
+        ms = self._machine(machine)
+        pending = ms.pending
+        if not pending:
+            return None
+        if self._index is not None:
+            return self._index.argmin(machine, pending)
+        key_fn = self._priority_key or key_fn
+        if key_fn is None:
+            raise SimulationError(
+                "pending_argmin requires a priority key (from the policy's "
+                "priority_key hook or the key_fn argument)"
+            )
+        jobs = self._jobs
+        best: Job | None = None
+        best_key: tuple | None = None
+        for job_id in pending:
+            job = jobs[job_id]
+            key = key_fn(job, machine)
+            if best_key is None or key < best_key:
+                best, best_key = job, key
+        return best
 
     # -- job / machine accessors ---------------------------------------------------
 
@@ -80,6 +331,19 @@ class EngineState:
             return self._jobs[job_id]
         except KeyError as exc:
             raise SimulationError(f"unknown job id {job_id}") from exc
+
+    @property
+    def jobs_by_id(self) -> dict[int, Job]:
+        """Read-only id -> :class:`Job` mapping (do not mutate)."""
+        return self._jobs
+
+    def machine_pending(self, machine: int) -> PendingSet:
+        """The pending-id set of ``machine`` in dispatch order (do not mutate).
+
+        This is the zero-copy accessor the hot dispatch loops iterate;
+        :meth:`pending_jobs` materialises the same jobs as a list.
+        """
+        return self._machine(machine).pending
 
     def pending_ids(self, machine: int) -> tuple[int, ...]:
         """Ids of jobs dispatched to ``machine`` that are waiting (not running)."""

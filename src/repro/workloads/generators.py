@@ -7,25 +7,110 @@ Three generators cover the three problems of the paper:
   plus energy problem (Section 3);
 * :class:`DeadlineInstanceGenerator` — instances with deadlines for the
   energy-minimisation problem (Section 4).
+
+Each generator offers two sampling paths:
+
+* :meth:`InstanceGenerator.generate` — the original per-job path, unchanged
+  so existing seeds reproduce exactly;
+* :meth:`InstanceGenerator.generate_large` /
+  :meth:`InstanceGenerator.iter_job_chunks` — a chunked, numpy-backed path
+  for large instances (100k jobs and beyond): arrivals, sizes and the
+  machine matrix are produced as arrays, whole chunks are validated at once,
+  and rows become jobs through :meth:`Job.trusted` without per-job
+  validation churn.  The chunked path derives independent sub-streams per
+  component from the generator's seed and consumes each stream sequentially
+  across chunks, so the resulting instance does not depend on ``chunk_size``.
+  The two paths draw different samples for the same seed — each is
+  individually deterministic.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
-from repro.exceptions import InvalidParameterError
+from repro.exceptions import InvalidInstanceError, InvalidParameterError
 from repro.simulation.instance import Instance
 from repro.simulation.job import Job
 from repro.simulation.machine import Machine
-from repro.utils.rng import make_rng
+from repro.utils.rng import make_rng, seeds_for
 from repro.workloads import arrival_processes, machine_models, processing_times
+
+#: Default number of jobs materialised per chunk on the large-instance path.
+DEFAULT_CHUNK_SIZE = 16384
 
 
 _ARRIVALS = ("poisson", "bursty", "batched", "deterministic")
 _SIZES = ("uniform", "exponential", "pareto", "bimodal")
 _MACHINE_MODELS = ("identical", "related", "unrelated", "restricted")
+
+#: Components with independent random sub-streams on the chunked path.
+_STREAMS = ("arrivals", "sizes", "matrix", "matrix_fixup", "weights", "deadlines")
+
+
+@dataclass(frozen=True)
+class JobChunk:
+    """A contiguous block of generated jobs as numpy columns.
+
+    Job ids are ``start .. start + len(chunk) - 1``; ``sizes`` has one row
+    per job and one column per machine (``inf`` marks forbidden pairs);
+    ``weights``/``deadlines`` are ``None`` for generators without those
+    attributes.
+    """
+
+    start: int
+    releases: np.ndarray
+    sizes: np.ndarray
+    weights: np.ndarray | None = None
+    deadlines: np.ndarray | None = None
+
+    def __len__(self) -> int:
+        return len(self.releases)
+
+    def validate(self) -> None:
+        """Bulk invariant check — the chunked counterpart of ``Job.__post_init__``."""
+        if len(self.sizes) != len(self.releases):
+            raise InvalidInstanceError("chunk sizes/releases length mismatch")
+        if len(self) == 0:
+            return
+        releases = self.releases
+        if not np.isfinite(releases).all() or float(releases[0]) < 0:
+            raise InvalidInstanceError("chunk releases must be finite and non-negative")
+        if (np.diff(releases) < 0).any():
+            raise InvalidInstanceError("chunk releases must be non-decreasing")
+        sizes = self.sizes
+        if not (sizes > 0).all():
+            raise InvalidInstanceError("chunk sizes must be positive")
+        if not np.isfinite(sizes).any(axis=1).all():
+            raise InvalidInstanceError("chunk contains a job with no eligible machine")
+        if self.weights is not None and not (
+            np.isfinite(self.weights).all() and (self.weights > 0).all()
+        ):
+            raise InvalidInstanceError("chunk weights must be positive and finite")
+        if self.deadlines is not None and not (self.deadlines > releases).all():
+            raise InvalidInstanceError("chunk deadlines must exceed releases")
+
+    def jobs(self) -> list[Job]:
+        """Materialise the chunk as :class:`Job` rows (trusted construction)."""
+        releases = self.releases.tolist()
+        rows = self.sizes.tolist()
+        weights = self.weights.tolist() if self.weights is not None else None
+        deadlines = self.deadlines.tolist() if self.deadlines is not None else None
+        start = self.start
+        trusted = Job.trusted
+        return [
+            trusted(
+                start + k,
+                releases[k],
+                tuple(rows[k]),
+                1.0 if weights is None else weights[k],
+                None if deadlines is None else deadlines[k],
+            )
+            for k in range(len(rows))
+        ]
 
 
 @dataclass
@@ -149,6 +234,150 @@ class InstanceGenerator:
         )
         return Instance.build(self.machines(), jobs, name=label)
 
+    # -- chunked large-instance path -----------------------------------------------
+
+    def _chunk_streams(self) -> dict[str, np.random.Generator]:
+        """One independent generator per sampled component.
+
+        With a fixed seed the streams are a pure function of the seed; each
+        stream is consumed strictly left-to-right across chunks, which is
+        what makes the chunked output independent of ``chunk_size``.
+        """
+        if self.seed is None:
+            return dict(zip(_STREAMS, make_rng(None).spawn(len(_STREAMS))))
+        derived = seeds_for(self.seed, list(_STREAMS))
+        return {label: make_rng(derived[label]) for label in _STREAMS}
+
+    def _arrivals_array(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """All release dates as one sorted float64 array."""
+        if self.arrival_process == "poisson":
+            return np.cumsum(rng.exponential(1.0 / self.arrival_rate, size=count))
+        if self.arrival_process == "bursty":
+            rate_on = self.arrival_rate * 10
+            rate_off = self.arrival_rate / 4
+            burst_length = 20
+            gaps = rng.exponential(1.0 / rate_on, size=count)
+            num_bursts = max(1, -(-count // burst_length))
+            offs = rng.exponential(1.0 / rate_off, size=num_bursts)
+            off_prefix = np.concatenate([[0.0], np.cumsum(offs)])
+            burst_of = np.arange(count) // burst_length
+            return np.cumsum(gaps) + off_prefix[burst_of]
+        if self.arrival_process == "batched":
+            base = (np.arange(count) // self.batch_size) * (1.0 / self.arrival_rate)
+            return np.sort(base)
+        return np.arange(count) * (1.0 / self.arrival_rate)
+
+    def _base_sizes_array(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        params = dict(self.size_params or {})
+        if self.size_distribution == "uniform":
+            return processing_times.uniform_sizes_array(count, seed=rng, **params)
+        if self.size_distribution == "exponential":
+            return processing_times.exponential_sizes_array(count, seed=rng, **params)
+        if self.size_distribution == "pareto":
+            params.setdefault("shape", 1.5)
+            params.setdefault("high", 100.0)
+            return processing_times.bounded_pareto_sizes_array(count, seed=rng, **params)
+        return processing_times.bimodal_sizes_array(count, seed=rng, **params)
+
+    def _matrix_chunk(
+        self,
+        base_chunk: np.ndarray,
+        rngs: dict[str, np.random.Generator],
+        related_speeds: np.ndarray | None,
+    ) -> np.ndarray:
+        if self.machine_model == "identical":
+            return machine_models.identical_matrix_array(base_chunk, self.num_machines)
+        if self.machine_model == "related":
+            return base_chunk[:, None] / related_speeds[None, :]
+        if self.machine_model == "unrelated":
+            return machine_models.unrelated_matrix_array(
+                base_chunk,
+                self.num_machines,
+                correlation=self.machine_correlation,
+                seed=rngs["matrix"],
+            )
+        # Restricted assignment: eligibility comes from the matrix stream and
+        # the all-forbidden fix-ups from a dedicated stream, so the position
+        # of every draw is independent of where chunk boundaries fall.
+        eligible = (
+            rngs["matrix"].uniform(0.0, 1.0, size=(len(base_chunk), self.num_machines)) < 0.5
+        )
+        empty = ~eligible.any(axis=1)
+        if empty.any():
+            fixes = rngs["matrix_fixup"].integers(self.num_machines, size=int(empty.sum()))
+            eligible[np.flatnonzero(empty), fixes] = True
+        return np.where(eligible, base_chunk[:, None], math.inf)
+
+    def _weights_chunk(self, count: int, rng: np.random.Generator) -> np.ndarray | None:
+        """Per-job weights for the chunk (``None``: unweighted model)."""
+        return None
+
+    def _deadlines_chunk(
+        self, releases: np.ndarray, sizes: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray | None:
+        """Per-job deadlines for the chunk (``None``: no deadlines)."""
+        return None
+
+    def iter_job_chunks(
+        self, num_jobs: int, chunk_size: int = DEFAULT_CHUNK_SIZE
+    ) -> Iterator[JobChunk]:
+        """Generate ``num_jobs`` jobs as validated numpy chunks.
+
+        Arrivals and base sizes are sampled up front as flat arrays (O(n)
+        floats); the ``(chunk, m)`` size matrix, weights and deadlines are
+        produced chunk by chunk so peak memory stays bounded by
+        ``chunk_size * num_machines`` regardless of instance size.
+        """
+        if num_jobs < 0:
+            raise InvalidParameterError(f"num_jobs must be non-negative, got {num_jobs}")
+        if chunk_size <= 0:
+            raise InvalidParameterError(f"chunk_size must be positive, got {chunk_size}")
+        rngs = self._chunk_streams()
+        arrivals = self._arrivals_array(num_jobs, rngs["arrivals"])
+        base = self._base_sizes_array(num_jobs, rngs["sizes"])
+        if self.load is not None and num_jobs > 0:
+            mean_size = float(np.mean(base))
+            current_load = self.arrival_rate * mean_size / self.num_machines
+            if current_load > 0:
+                base = base * (self.load / current_load)
+        related_speeds = None
+        if self.machine_model == "related":
+            related_speeds = rngs["matrix"].uniform(1.0, 4.0, size=self.num_machines)
+            related_speeds[0] = 1.0
+        for start in range(0, num_jobs, chunk_size):
+            stop = min(start + chunk_size, num_jobs)
+            sizes = self._matrix_chunk(base[start:stop], rngs, related_speeds)
+            chunk = JobChunk(
+                start=start,
+                releases=arrivals[start:stop],
+                sizes=sizes,
+                weights=self._weights_chunk(stop - start, rngs["weights"]),
+                deadlines=self._deadlines_chunk(
+                    arrivals[start:stop], sizes, rngs["deadlines"]
+                ),
+            )
+            chunk.validate()
+            yield chunk
+
+    def generate_large(
+        self, num_jobs: int, chunk_size: int = DEFAULT_CHUNK_SIZE
+    ) -> Instance:
+        """Chunked numpy-backed generation for large instances.
+
+        Samples differ from :meth:`generate` for the same seed (each path is
+        individually deterministic); on 100k-job instances this path is an
+        order of magnitude faster because no per-job Python validation or
+        intermediate lists are built in the generator loop.
+        """
+        jobs: list[Job] = []
+        for chunk in self.iter_job_chunks(num_jobs, chunk_size):
+            jobs.extend(chunk.jobs())
+        label = self.name or (
+            f"{self.size_distribution}-{self.arrival_process}-{self.machine_model}"
+            f"(m={self.num_machines},n={num_jobs},chunked)"
+        )
+        return Instance(self.machines(), tuple(jobs), name=label)
+
 
 @dataclass
 class WeightedInstanceGenerator(InstanceGenerator):
@@ -177,6 +406,11 @@ class WeightedInstanceGenerator(InstanceGenerator):
             for job in base.jobs
         ]
         return Instance.build(self.machines(), jobs, name=base.name + "+weights")
+
+    def _weights_chunk(self, count: int, rng: np.random.Generator) -> np.ndarray | None:
+        if not (0 < self.weight_low <= self.weight_high):
+            raise InvalidParameterError("need 0 < weight_low <= weight_high")
+        return rng.uniform(self.weight_low, self.weight_high, size=count)
 
 
 @dataclass
@@ -213,3 +447,13 @@ class DeadlineInstanceGenerator(InstanceGenerator):
                 )
             )
         return Instance.build(self.machines(), jobs, name=base.name + "+deadlines")
+
+    def _deadlines_chunk(
+        self, releases: np.ndarray, sizes: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray | None:
+        if self.slack <= 1:
+            raise InvalidParameterError(f"slack must exceed 1, got {self.slack}")
+        jitter = rng.uniform(1.0 - self.slack_jitter, 1.0 + self.slack_jitter, size=len(releases))
+        min_sizes = np.where(np.isfinite(sizes), sizes, np.inf).min(axis=1)
+        window = np.maximum(1e-6, self.slack * jitter * min_sizes)
+        return releases + window

@@ -1,7 +1,7 @@
 """Unrelated-machine processing-time matrices.
 
-Each function maps a list of base job sizes to per-machine size vectors,
-covering the standard machine models used in the scheduling literature:
+Each function maps base job sizes to per-machine size vectors, covering the
+standard machine models used in the scheduling literature:
 
 * *identical* — every machine sees the same size (the special case the lower
   bounds of the related work apply to);
@@ -10,6 +10,14 @@ covering the standard machine models used in the scheduling literature:
   model;
 * *restricted assignment* — each job is only runnable on a random subset of
   machines (``math.inf`` elsewhere), the hardest structured special case.
+
+Like the size distributions, every model has an array flavour
+(``*_matrix_array``) returning a ``(n, m)`` float64 matrix without building
+per-job Python tuples — the chunked generators feed base-size chunks through
+these.  The tuple-returning originals wrap the array versions where the
+random stream is consumed identically (identical / related / unrelated);
+``restricted_assignment_matrix`` interleaves its fix-up draws differently and
+keeps its own loop so existing seeds reproduce exactly.
 """
 
 from __future__ import annotations
@@ -30,10 +38,37 @@ def _check(base_sizes, num_machines: int) -> None:
             raise InvalidParameterError(f"base sizes must be positive, got {p}")
 
 
+def _rows(matrix: np.ndarray) -> list[tuple[float, ...]]:
+    return [tuple(float(p) for p in row) for row in matrix]
+
+
+def identical_matrix_array(base_sizes, num_machines: int) -> np.ndarray:
+    """Every machine sees the job's base size — ``(n, m)`` array flavour."""
+    _check(base_sizes, num_machines)
+    base = np.asarray(base_sizes, dtype=float)
+    return np.repeat(base[:, None], num_machines, axis=1)
+
+
 def identical_matrix(base_sizes: list[float], num_machines: int) -> list[tuple[float, ...]]:
     """Every machine sees the job's base size."""
+    return _rows(identical_matrix_array(base_sizes, num_machines))
+
+
+def uniform_related_matrix_array(
+    base_sizes,
+    num_machines: int,
+    speed_spread: float = 4.0,
+    seed=None,
+) -> np.ndarray:
+    """Related machines as a ``(n, m)`` array (see :func:`uniform_related_matrix`)."""
     _check(base_sizes, num_machines)
-    return [tuple([float(p)] * num_machines) for p in base_sizes]
+    if speed_spread < 1:
+        raise InvalidParameterError(f"speed_spread must be >= 1, got {speed_spread}")
+    rng = make_rng(seed)
+    speeds = rng.uniform(1.0, speed_spread, size=num_machines)
+    speeds[0] = 1.0  # keep one reference machine at unit speed
+    base = np.asarray(base_sizes, dtype=float)
+    return base[:, None] / speeds[None, :]
 
 
 def uniform_related_matrix(
@@ -46,13 +81,30 @@ def uniform_related_matrix(
 
     Faster machines see proportionally smaller processing times.
     """
+    return _rows(
+        uniform_related_matrix_array(
+            base_sizes, num_machines, speed_spread=speed_spread, seed=seed
+        )
+    )
+
+
+def unrelated_matrix_array(
+    base_sizes,
+    num_machines: int,
+    correlation: float = 0.5,
+    noise_spread: float = 4.0,
+    seed=None,
+) -> np.ndarray:
+    """General unrelated machines as a ``(n, m)`` array (see :func:`unrelated_matrix`)."""
     _check(base_sizes, num_machines)
-    if speed_spread < 1:
-        raise InvalidParameterError(f"speed_spread must be >= 1, got {speed_spread}")
+    if not (0.0 <= correlation <= 1.0):
+        raise InvalidParameterError(f"correlation must be in [0, 1], got {correlation}")
+    if noise_spread < 1:
+        raise InvalidParameterError(f"noise_spread must be >= 1, got {noise_spread}")
     rng = make_rng(seed)
-    speeds = rng.uniform(1.0, speed_spread, size=num_machines)
-    speeds[0] = 1.0  # keep one reference machine at unit speed
-    return [tuple(float(p) / float(s) for s in speeds) for p in base_sizes]
+    base = np.asarray(base_sizes, dtype=float)
+    noise = rng.uniform(1.0 / noise_spread, noise_spread, size=(len(base), num_machines))
+    return base[:, None] * (correlation + (1.0 - correlation) * noise)
 
 
 def unrelated_matrix(
@@ -68,18 +120,44 @@ def unrelated_matrix(
     makes every (job, machine) entry an independent draw in
     ``[base/noise_spread, base*noise_spread]``.
     """
+    return _rows(
+        unrelated_matrix_array(
+            base_sizes,
+            num_machines,
+            correlation=correlation,
+            noise_spread=noise_spread,
+            seed=seed,
+        )
+    )
+
+
+def restricted_assignment_matrix_array(
+    base_sizes,
+    num_machines: int,
+    eligible_fraction: float = 0.5,
+    seed=None,
+) -> np.ndarray:
+    """Restricted assignment as a ``(n, m)`` array (``inf`` marks forbidden pairs).
+
+    Unlike the other array flavours this consumes the random stream in a
+    different order than :func:`restricted_assignment_matrix` (eligibility
+    for all jobs first, then one fix-up draw per all-forbidden job), so the
+    two flavours produce different — but individually deterministic —
+    matrices for the same seed.
+    """
     _check(base_sizes, num_machines)
-    if not (0.0 <= correlation <= 1.0):
-        raise InvalidParameterError(f"correlation must be in [0, 1], got {correlation}")
-    if noise_spread < 1:
-        raise InvalidParameterError(f"noise_spread must be >= 1, got {noise_spread}")
+    if not (0.0 < eligible_fraction <= 1.0):
+        raise InvalidParameterError(
+            f"eligible_fraction must be in (0, 1], got {eligible_fraction}"
+        )
     rng = make_rng(seed)
-    rows = []
-    for p in base_sizes:
-        noise = rng.uniform(1.0 / noise_spread, noise_spread, size=num_machines)
-        row = tuple(float(p) * (correlation + (1.0 - correlation) * float(x)) for x in noise)
-        rows.append(row)
-    return rows
+    base = np.asarray(base_sizes, dtype=float)
+    eligible = rng.uniform(0.0, 1.0, size=(len(base), num_machines)) < eligible_fraction
+    empty = ~eligible.any(axis=1)
+    if empty.any():
+        fixes = rng.integers(num_machines, size=int(empty.sum()))
+        eligible[np.flatnonzero(empty), fixes] = True
+    return np.where(eligible, base[:, None], math.inf)
 
 
 def restricted_assignment_matrix(

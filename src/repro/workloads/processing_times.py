@@ -1,4 +1,12 @@
-"""Processing-time (volume) distributions for synthetic workloads."""
+"""Processing-time (volume) distributions for synthetic workloads.
+
+Every distribution comes in two flavours: a ``*_sizes`` function returning a
+list (the original API) and a ``*_sizes_array`` function returning the
+underlying :class:`numpy.ndarray` without per-element Python float churn —
+the building block of the chunked large-instance generators.  The list
+functions are thin wrappers over the array functions and consume the random
+stream identically, so existing seeds reproduce exactly.
+"""
 
 from __future__ import annotations
 
@@ -13,22 +21,56 @@ def _check(count: int) -> None:
         raise InvalidParameterError(f"count must be non-negative, got {count}")
 
 
-def uniform_sizes(count: int, low: float = 1.0, high: float = 10.0, seed=None) -> list[float]:
-    """Sizes drawn uniformly from ``[low, high]``."""
+def uniform_sizes_array(
+    count: int, low: float = 1.0, high: float = 10.0, seed=None
+) -> np.ndarray:
+    """Sizes drawn uniformly from ``[low, high]`` as a float64 array."""
     _check(count)
     if low <= 0 or high < low:
         raise InvalidParameterError(f"need 0 < low <= high, got [{low}, {high}]")
     rng = make_rng(seed)
-    return [float(x) for x in rng.uniform(low, high, size=count)]
+    return rng.uniform(low, high, size=count)
 
 
-def exponential_sizes(count: int, mean: float = 5.0, minimum: float = 0.1, seed=None) -> list[float]:
-    """Exponentially distributed sizes with the given mean, clipped below at ``minimum``."""
+def uniform_sizes(count: int, low: float = 1.0, high: float = 10.0, seed=None) -> list[float]:
+    """Sizes drawn uniformly from ``[low, high]``."""
+    return [float(x) for x in uniform_sizes_array(count, low=low, high=high, seed=seed)]
+
+
+def exponential_sizes_array(
+    count: int, mean: float = 5.0, minimum: float = 0.1, seed=None
+) -> np.ndarray:
+    """Exponential sizes with the given mean, clipped below at ``minimum``."""
     _check(count)
     if mean <= 0 or minimum <= 0:
         raise InvalidParameterError("mean and minimum must be positive")
     rng = make_rng(seed)
-    return [float(max(minimum, x)) for x in rng.exponential(mean, size=count)]
+    return np.maximum(minimum, rng.exponential(mean, size=count))
+
+
+def exponential_sizes(count: int, mean: float = 5.0, minimum: float = 0.1, seed=None) -> list[float]:
+    """Exponentially distributed sizes with the given mean, clipped below at ``minimum``."""
+    return [float(x) for x in exponential_sizes_array(count, mean=mean, minimum=minimum, seed=seed)]
+
+
+def bounded_pareto_sizes_array(
+    count: int,
+    shape: float = 1.5,
+    low: float = 1.0,
+    high: float = 1000.0,
+    seed=None,
+) -> np.ndarray:
+    """Bounded-Pareto sizes as a float64 array (see :func:`bounded_pareto_sizes`)."""
+    _check(count)
+    if shape <= 0:
+        raise InvalidParameterError(f"shape must be positive, got {shape}")
+    if low <= 0 or high <= low:
+        raise InvalidParameterError(f"need 0 < low < high, got [{low}, {high}]")
+    rng = make_rng(seed)
+    u = rng.uniform(0.0, 1.0, size=count)
+    l_a = low**shape
+    h_a = high**shape
+    return (-(u * h_a - u * l_a - h_a) / (h_a * l_a)) ** (-1.0 / shape)
 
 
 def bounded_pareto_sizes(
@@ -44,17 +86,28 @@ def bounded_pareto_sizes(
     (short jobs stuck behind long ones), i.e. where the paper's rejection
     rules matter most.
     """
+    return [
+        float(v)
+        for v in bounded_pareto_sizes_array(count, shape=shape, low=low, high=high, seed=seed)
+    ]
+
+
+def bimodal_sizes_array(
+    count: int,
+    short: float = 1.0,
+    long: float = 50.0,
+    long_fraction: float = 0.1,
+    seed=None,
+) -> np.ndarray:
+    """Mixture of short and long jobs as a float64 array."""
     _check(count)
-    if shape <= 0:
-        raise InvalidParameterError(f"shape must be positive, got {shape}")
-    if low <= 0 or high <= low:
-        raise InvalidParameterError(f"need 0 < low < high, got [{low}, {high}]")
+    if short <= 0 or long <= 0:
+        raise InvalidParameterError("sizes must be positive")
+    if not (0 <= long_fraction <= 1):
+        raise InvalidParameterError(f"long_fraction must be in [0, 1], got {long_fraction}")
     rng = make_rng(seed)
-    u = rng.uniform(0.0, 1.0, size=count)
-    l_a = low**shape
-    h_a = high**shape
-    values = (-(u * h_a - u * l_a - h_a) / (h_a * l_a)) ** (-1.0 / shape)
-    return [float(v) for v in values]
+    draws = rng.uniform(0.0, 1.0, size=count)
+    return np.where(draws < long_fraction, float(long), float(short))
 
 
 def bimodal_sizes(
@@ -65,11 +118,9 @@ def bimodal_sizes(
     seed=None,
 ) -> list[float]:
     """Mixture of short and long jobs (the Lemma 1 flavour of heterogeneity)."""
-    _check(count)
-    if short <= 0 or long <= 0:
-        raise InvalidParameterError("sizes must be positive")
-    if not (0 <= long_fraction <= 1):
-        raise InvalidParameterError(f"long_fraction must be in [0, 1], got {long_fraction}")
-    rng = make_rng(seed)
-    draws = rng.uniform(0.0, 1.0, size=count)
-    return [float(long if d < long_fraction else short) for d in draws]
+    return [
+        float(x)
+        for x in bimodal_sizes_array(
+            count, short=short, long=long, long_fraction=long_fraction, seed=seed
+        )
+    ]

@@ -191,7 +191,10 @@ class TestGrids:
 
     def test_small_grid_covers_all_experiments(self):
         tasks = get_grid("small").tasks()
-        assert {task.experiment_id for task in tasks} == {f"E{i}" for i in range(1, 11)}
+        assert {task.experiment_id for task in tasks} == {
+            *(f"E{i}" for i in range(1, 11)),
+            "E12",
+        }
 
     def test_solvers_grid_sweeps_algorithms(self):
         grid = get_grid("solvers")

@@ -47,6 +47,51 @@ class TestEventQueueOrdering:
         assert times == sorted(times)
         assert len(queue) == 0
 
+    def test_drain_preserves_full_event_order(self):
+        queue = EventQueue()
+        queue.push_arrival(2.0, job_id=0)
+        queue.push_completion(2.0, job_id=1, machine=0, version=0)
+        queue.push_arrival(1.0, job_id=2)
+        kinds = [(event.time, event.kind) for event in queue.drain()]
+        # Same ordering contract as pop(): time, then completions first.
+        assert kinds == [
+            (1.0, EventKind.ARRIVAL),
+            (2.0, EventKind.COMPLETION),
+            (2.0, EventKind.ARRIVAL),
+        ]
+
+    def test_drain_skips_stale_completions_by_version(self):
+        # The machine's version advanced past the stamped completion (its
+        # running job was rejected mid-execution): draining must apply the
+        # same invalidation the engine's event loop does.
+        queue = EventQueue()
+        queue.push_completion(1.0, job_id=0, machine=0, version=0)  # stale
+        queue.push_completion(2.0, job_id=1, machine=0, version=2)  # live
+        queue.push_completion(3.0, job_id=2, machine=1, version=0)  # live
+        queue.push_arrival(4.0, job_id=3)  # arrivals always pass
+        events = list(queue.drain(machine_versions=[2, 0]))
+        assert [event.job_id for event in events] == [1, 2, 3]
+        assert len(queue) == 0
+
+    def test_drain_with_stale_predicate(self):
+        queue = EventQueue()
+        for job_id, t in enumerate([1.0, 2.0, 3.0]):
+            queue.push_arrival(t, job_id=job_id)
+        events = list(queue.drain(is_stale=lambda event: event.job_id == 1))
+        assert [event.job_id for event in events] == [0, 2]
+
+    def test_drain_after_early_termination_yields_no_dead_events(self):
+        # Simulate the engine's Rule-1 interruption: a completion is pushed,
+        # the running job is rejected (version bump), a fresh completion is
+        # pushed with the new stamp.  Draining with the current stamps must
+        # yield only the live completion.
+        queue = EventQueue()
+        queue.push_completion(10.0, job_id=7, machine=0, version=0)
+        version = 1  # rejection bumped the machine version
+        queue.push_completion(12.0, job_id=8, machine=0, version=version)
+        events = list(queue.drain(machine_versions=[version]))
+        assert [(event.job_id, event.time) for event in events] == [(8, 12.0)]
+
 
 class TestEventQueueErrors:
     def test_pop_empty_raises(self):

@@ -1,0 +1,333 @@
+"""Indexed scheduler state: equivalence with the scan path plus unit tests.
+
+The contract of the indexed dispatch path (PR: indexed scheduler state) is
+that indexing changes *how* the select-next argmin is found — per-machine
+lazily-invalidated heaps instead of linear scans — but never *which* job wins:
+``FlowTimeEngine(instance, dispatch="indexed")`` and ``dispatch="scan"`` must
+produce byte-identical :class:`SimulationResult` objects for every policy on
+every instance.  The equivalence suite drives that claim across the
+property-based instance generators of ``test_property_based``; the unit tests
+cover the data structures directly, including lazy invalidation under
+mid-run Rule-1 rejection.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from test_property_based import flow_instances
+
+from repro.baselines.fcfs import FCFSScheduler
+from repro.baselines.greedy import GreedyDispatchScheduler
+from repro.baselines.immediate_rejection import ImmediateRejectionScheduler
+from repro.core.flow_time import RejectionFlowTimeScheduler
+from repro.core.flow_time_energy import RejectionEnergyFlowScheduler
+from repro.core.ordering import spt_key
+from repro.exceptions import SimulationError
+from repro.simulation.engine import FlowTimeEngine, default_dispatch_mode
+from repro.simulation.indexed import (
+    IndexedPending,
+    PendingPrefixStats,
+    build_priority_ranks,
+)
+from repro.simulation.instance import Instance
+from repro.simulation.job import Job
+from repro.simulation.speed_engine import SpeedScalingEngine
+from repro.simulation.state import PendingSet
+from repro.workloads.adversarial import overload_burst_instance
+from repro.workloads.generators import InstanceGenerator
+
+_EPSILONS = st.sampled_from([0.1, 0.3, 0.5, 0.8])
+
+
+def _assert_identical(a, b):
+    """Byte-level equivalence of two simulation results."""
+    assert a.records == b.records
+    assert a.intervals == b.intervals
+    assert a.extras == b.extras
+    assert a.algorithm == b.algorithm
+
+
+def _run_both(instance, policy, engine_cls=FlowTimeEngine):
+    indexed = engine_cls(instance, dispatch="indexed").run(policy)
+    scanned = engine_cls(instance, dispatch="scan").run(policy)
+    return indexed, scanned
+
+
+# --------------------------------------------------------------------------------------
+# Equivalence suite (property-based)
+# --------------------------------------------------------------------------------------
+
+
+class TestIndexedScanEquivalence:
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(instance=flow_instances(), epsilon=_EPSILONS)
+    def test_theorem1_identical(self, instance, epsilon):
+        indexed, scanned = _run_both(instance, RejectionFlowTimeScheduler(epsilon=epsilon))
+        _assert_identical(indexed, scanned)
+
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(instance=flow_instances(), epsilon=_EPSILONS)
+    def test_theorem1_rule_ablations_identical(self, instance, epsilon):
+        for rule1, rule2 in ((True, False), (False, True), (False, False)):
+            policy = RejectionFlowTimeScheduler(
+                epsilon=epsilon, enable_rule1=rule1, enable_rule2=rule2
+            )
+            indexed, scanned = _run_both(instance, policy)
+            _assert_identical(indexed, scanned)
+
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(instance=flow_instances())
+    def test_baselines_identical(self, instance):
+        for policy in (
+            GreedyDispatchScheduler("spt"),
+            GreedyDispatchScheduler("fcfs"),
+            FCFSScheduler(),
+            ImmediateRejectionScheduler(0.25, "largest"),
+            ImmediateRejectionScheduler(0.25, "overload"),
+        ):
+            indexed, scanned = _run_both(instance, policy)
+            _assert_identical(indexed, scanned)
+
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(instance=flow_instances(max_jobs=10), epsilon=_EPSILONS)
+    def test_theorem2_speed_scaling_identical(self, instance, epsilon):
+        alpha_instance = instance.with_alpha(2.5)
+        policy = RejectionEnergyFlowScheduler(epsilon=epsilon)
+        indexed, scanned = _run_both(alpha_instance, policy, engine_cls=SpeedScalingEngine)
+        _assert_identical(indexed, scanned)
+
+    def test_large_burst_identical(self):
+        # Deep queues force the Fenwick branch of the order statistics and
+        # long stale chains in the select heaps.
+        instance = overload_burst_instance(num_machines=4, burst_jobs=60, trailing_shorts=150)
+        indexed, scanned = _run_both(instance, RejectionFlowTimeScheduler(epsilon=0.4))
+        _assert_identical(indexed, scanned)
+        assert any(r.rejected for r in indexed.records.values())
+
+    def test_generated_poisson_identical(self):
+        instance = InstanceGenerator(num_machines=6, seed=42, size_distribution="pareto").generate(
+            800
+        )
+        indexed, scanned = _run_both(instance, RejectionFlowTimeScheduler(epsilon=0.5))
+        _assert_identical(indexed, scanned)
+
+
+# --------------------------------------------------------------------------------------
+# Rule-2 victim heap vs brute force
+# --------------------------------------------------------------------------------------
+
+
+class _ShadowVictimScheduler(RejectionFlowTimeScheduler):
+    """Theorem 1 scheduler asserting the victim heap against a brute-force scan."""
+
+    def _rule2_victim(self, arriving, machine, state):
+        victim = super()._rule2_victim(arriving, machine, state)
+        candidates = list(state.pending_jobs(machine)) + [arriving]
+        expected = max(
+            candidates, key=lambda cand: (cand.size_on(machine), -cand.release, cand.id)
+        )
+        assert victim.id == expected.id, (victim.id, expected.id)
+        return victim
+
+
+class TestRule2VictimHeap:
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(instance=flow_instances(max_jobs=14), epsilon=_EPSILONS)
+    def test_heap_matches_brute_force(self, instance, epsilon):
+        FlowTimeEngine(instance).run(_ShadowVictimScheduler(epsilon=epsilon))
+
+    def test_heap_matches_brute_force_on_burst(self):
+        instance = overload_burst_instance(num_machines=3, burst_jobs=30, trailing_shorts=60)
+        FlowTimeEngine(instance).run(_ShadowVictimScheduler(epsilon=0.5))
+
+
+# --------------------------------------------------------------------------------------
+# IndexedPending unit tests
+# --------------------------------------------------------------------------------------
+
+
+def _job(job_id: int, size: float, release: float = 0.0) -> Job:
+    return Job(id=job_id, release=release, sizes=(size,))
+
+
+class TestIndexedPending:
+    def test_argmin_in_key_order(self):
+        index = IndexedPending(1, spt_key)
+        live = PendingSet()
+        for job in (_job(0, 5.0), _job(1, 2.0), _job(2, 9.0)):
+            index.push(0, job)
+            live.append(job.id)
+        assert index.argmin(0, live).id == 1
+
+    def test_lazy_invalidation_skips_stale_entries(self):
+        index = IndexedPending(1, spt_key)
+        live = PendingSet()
+        for job in (_job(0, 1.0), _job(1, 2.0), _job(2, 3.0)):
+            index.push(0, job)
+            live.append(job.id)
+        # Job 0 starts (leaves pending) without touching the heap: the stale
+        # head is discarded on the next argmin.
+        live.remove(0)
+        assert index.heap_size(0) == 3
+        assert index.argmin(0, live).id == 1
+        assert index.heap_size(0) == 2  # the stale entry was popped, not job 1
+
+    def test_argmin_empty_when_all_stale(self):
+        index = IndexedPending(1, spt_key)
+        live = PendingSet()
+        index.push(0, _job(0, 1.0))
+        assert index.argmin(0, live) is None
+        assert index.heap_size(0) == 0
+
+    def test_mid_run_rule1_rejection_invalidates_running_job(self):
+        # One long job starts, then ceil(1/eps)=2 short arrivals trigger a
+        # Rule-1 rejection of the running job.  The heap entry of the long
+        # job went stale when it started; the rejection must not resurrect
+        # it, and the short jobs must win every later argmin.
+        jobs = [Job(0, 0.0, (100.0,)), Job(1, 1.0, (1.0,)), Job(2, 2.0, (1.0,))]
+        instance = Instance.build(1, jobs)
+        policy = RejectionFlowTimeScheduler(epsilon=0.5, enable_rule2=False)
+        result = FlowTimeEngine(instance, dispatch="indexed").run(policy)
+        assert result.record(0).rejected
+        assert result.record(0).rejection_reason == "rule1"
+        assert result.record(1).finished and result.record(2).finished
+        scanned = FlowTimeEngine(instance, dispatch="scan").run(policy)
+        _assert_identical(result, scanned)
+
+    def test_mid_run_rejection_of_pending_job(self):
+        # Rule 2 rejects a *pending* job: its heap entry must be skipped as
+        # stale when it surfaces.
+        instance = overload_burst_instance(num_machines=1, burst_jobs=6, trailing_shorts=10)
+        policy = RejectionFlowTimeScheduler(epsilon=0.5)
+        result = FlowTimeEngine(instance, dispatch="indexed").run(policy)
+        assert policy.log.rule2, "scenario must fire Rule 2"
+        scanned = FlowTimeEngine(instance, dispatch="scan").run(policy)
+        _assert_identical(result, scanned)
+
+
+class TestPendingPrefixStats:
+    def test_ranks_match_sorted_order(self):
+        jobs = [_job(0, 5.0), _job(1, 2.0, release=1.0), _job(2, 2.0), _job(3, 9.0)]
+        ranks = build_priority_ranks(jobs, 1, spt_key)[0]
+        expected = sorted(jobs, key=lambda j: spt_key(j, 0))
+        assert [ranks[j.id] for j in expected] == list(range(len(jobs)))
+
+    def test_stats_below_counts_and_sums(self):
+        jobs = [_job(0, 5.0), _job(1, 2.0), _job(2, 3.0), _job(3, 9.0)]
+        stats = PendingPrefixStats(build_priority_ranks(jobs, 1, spt_key), len(jobs))
+        for job in jobs[:3]:
+            stats.add(0, job.id, job.sizes[0])
+        # Job 3 (size 9) is preceded by all three pending jobs.
+        count, total = stats.prefix_of(0, 3)
+        assert count == 3
+        assert total == pytest.approx(5.0 + 2.0 + 3.0)
+        # Job 0 (size 5) is preceded by sizes 2 and 3.
+        count, total = stats.prefix_of(0, 0)
+        assert count == 2
+        assert total == pytest.approx(2.0 + 3.0)
+        stats.remove(0, 1, 2.0)
+        count, total = stats.prefix_of(0, 0)
+        assert count == 1
+        assert total == pytest.approx(3.0)
+
+
+class TestPendingSet:
+    def test_list_like_surface(self):
+        pending = PendingSet()
+        pending.append(3)
+        pending.extend([1, 4])
+        assert list(pending) == [3, 1, 4]
+        assert 1 in pending and 2 not in pending
+        assert len(pending) == 3 and pending
+        pending.remove(1)
+        assert list(pending) == [3, 4]
+        with pytest.raises(ValueError):
+            pending.remove(99)
+        assert not PendingSet()
+
+
+class TestDispatchModes:
+    def test_default_mode_is_indexed(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DISPATCH", raising=False)
+        assert default_dispatch_mode() == "indexed"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DISPATCH", "scan")
+        assert default_dispatch_mode() == "scan"
+        instance = Instance.build(1, [Job(0, 0.0, (1.0,))])
+        assert FlowTimeEngine(instance).dispatch == "scan"
+
+    def test_invalid_env_mode_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DISPATCH", "quantum")
+        with pytest.raises(SimulationError):
+            default_dispatch_mode()
+
+    def test_invalid_explicit_mode_rejected(self):
+        instance = Instance.build(1, [Job(0, 0.0, (1.0,))])
+        with pytest.raises(SimulationError):
+            FlowTimeEngine(instance, dispatch="quantum")
+
+
+class TestCampaignStoreEquivalence:
+    def test_smoke_grid_stores_byte_identical_across_modes(self, tmp_path, monkeypatch):
+        # The real equivalence gate: compute the smoke grid under each
+        # dispatch mode into its own store and compare the artifact bytes.
+        # (Re-running one mode against the other's store only proves the
+        # cache keys are stable — cache hits skip computation entirely.)
+        from repro.campaigns import ArtifactStore, CampaignRunner, get_grid
+
+        tasks = get_grid("smoke").tasks()
+        payloads = {}
+        for mode in ("scan", "indexed"):
+            monkeypatch.setenv("REPRO_DISPATCH", mode)
+            store = ArtifactStore(tmp_path / mode)
+            summary = CampaignRunner(store, workers=1).run(tasks)
+            assert summary.computed == len(tasks)
+            payloads[mode] = sorted(
+                (path.name, path.read_bytes())
+                for path in (tmp_path / mode).rglob("*.json")
+            )
+        assert payloads["scan"] == payloads["indexed"]
+        assert payloads["scan"], "stores must not be empty"
+
+
+class TestDetachedState:
+    def test_select_next_works_without_an_engine(self):
+        # Pre-index behavior: policies are usable on a hand-built
+        # EngineState (unit tests, custom tooling) without install_priority.
+        from repro.simulation.state import EngineState
+
+        jobs = [Job(0, 0.0, (5.0,)), Job(1, 0.0, (2.0,)), Job(2, 1.0, (2.0,))]
+        instance = Instance.build(1, jobs)
+        state = EngineState(instance)
+        state.machines[0].pending.extend([0, 1, 2])
+        assert FCFSScheduler().select_next(0.0, 0, state) == 0  # earliest release
+        assert RejectionFlowTimeScheduler(0.5).select_next(0.0, 0, state) == 1  # SPT
+        assert GreedyDispatchScheduler("spt").select_next(0.0, 0, state) == 1
+        assert ImmediateRejectionScheduler(0.2).select_next(0.0, 0, state) == 1
+
+
+class TestDeliberateIdlePolicy:
+    def test_recheck_keeps_offering_idle_machines(self):
+        # A policy that refuses to start job 0 until job 1 has been released
+        # exercises the recheck set: the machine is idle with pending work
+        # while the policy returns None, and must be re-offered at later
+        # events (the pre-index engine offered every machine at every event).
+        class HoldBack(FCFSScheduler):
+            name = "hold-back"
+
+            def select_next(self, t, machine, state):
+                pending = state.pending_jobs(machine)
+                if not pending:
+                    return None
+                if t < 5.0:
+                    return None  # deliberately idle until the second arrival
+                return min(pending, key=lambda job: (job.release, job.id)).id
+
+        jobs = [Job(0, 0.0, (1.0,)), Job(1, 5.0, (1.0,))]
+        instance = Instance.build(1, jobs)
+        result = FlowTimeEngine(instance, dispatch="indexed").run(HoldBack())
+        assert result.record(0).start == pytest.approx(5.0)
+        assert result.record(1).finished

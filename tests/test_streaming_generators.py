@@ -1,0 +1,165 @@
+"""Tests for the chunked numpy-backed instance generators and E12."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidInstanceError, InvalidParameterError
+from repro.experiments import run_experiment
+from repro.simulation.job import Job
+from repro.utils.serialization import stable_hash
+from repro.workloads.generators import (
+    DEFAULT_CHUNK_SIZE,
+    DeadlineInstanceGenerator,
+    InstanceGenerator,
+    JobChunk,
+    WeightedInstanceGenerator,
+)
+
+
+def _hash(instance) -> str:
+    return stable_hash(instance.to_dict())
+
+
+class TestGenerateLarge:
+    def test_deterministic_for_fixed_seed(self):
+        make = lambda: InstanceGenerator(num_machines=4, seed=7).generate_large(2_000)
+        assert _hash(make()) == _hash(make())
+
+    def test_chunk_size_invariant(self):
+        generator = InstanceGenerator(num_machines=4, seed=7)
+        reference = _hash(generator.generate_large(2_000))
+        for chunk_size in (127, 500, 2_000, 10_000):
+            assert _hash(generator.generate_large(2_000, chunk_size=chunk_size)) == reference
+
+    def test_instance_is_valid(self):
+        instance = InstanceGenerator(num_machines=3, seed=1).generate_large(1_500)
+        assert instance.num_jobs == 1_500
+        releases = [job.release for job in instance.jobs]
+        assert releases == sorted(releases)
+        assert all(all(p > 0 for p in job.sizes) for job in instance.jobs)
+        assert sorted(job.id for job in instance.jobs) == list(range(1_500))
+
+    @pytest.mark.parametrize("machine_model", ["identical", "related", "unrelated", "restricted"])
+    def test_all_machine_models(self, machine_model):
+        instance = InstanceGenerator(
+            num_machines=3, seed=5, machine_model=machine_model
+        ).generate_large(300)
+        assert instance.num_jobs == 300
+        if machine_model == "identical":
+            assert all(len(set(job.sizes)) == 1 for job in instance.jobs)
+        if machine_model == "restricted":
+            assert all(job.eligible_machines() for job in instance.jobs)
+
+    @pytest.mark.parametrize("arrival_process", ["poisson", "bursty", "batched", "deterministic"])
+    def test_all_arrival_processes(self, arrival_process):
+        instance = InstanceGenerator(
+            num_machines=2, seed=5, arrival_process=arrival_process
+        ).generate_large(300)
+        releases = [job.release for job in instance.jobs]
+        assert releases == sorted(releases)
+        assert releases[0] >= 0
+
+    def test_load_rescaling_applies(self):
+        low = InstanceGenerator(num_machines=2, seed=3, load=0.2).generate_large(500)
+        high = InstanceGenerator(num_machines=2, seed=3, load=2.0).generate_large(500)
+        total = lambda inst: sum(job.min_size() for job in inst.jobs)
+        assert total(high) > 5 * total(low)
+
+    def test_weighted_generator_draws_weights(self):
+        instance = WeightedInstanceGenerator(
+            num_machines=2, seed=9, weight_low=0.5, weight_high=4.0
+        ).generate_large(400)
+        weights = [job.weight for job in instance.jobs]
+        assert all(0.5 <= w <= 4.0 for w in weights)
+        assert len(set(weights)) > 100  # actually random, not the default 1.0
+
+    def test_deadline_generator_sets_feasible_deadlines(self):
+        instance = DeadlineInstanceGenerator(num_machines=2, seed=9).generate_large(200)
+        assert instance.has_deadlines()
+        assert all(job.deadline > job.release for job in instance.jobs)
+
+    def test_invalid_arguments(self):
+        generator = InstanceGenerator(num_machines=2, seed=1)
+        with pytest.raises(InvalidParameterError):
+            generator.generate_large(-1)
+        with pytest.raises(InvalidParameterError):
+            generator.generate_large(10, chunk_size=0)
+
+    def test_zero_jobs(self):
+        instance = InstanceGenerator(num_machines=2, seed=1).generate_large(0)
+        assert instance.num_jobs == 0
+
+
+class TestIterJobChunks:
+    def test_chunk_boundaries_and_ids(self):
+        generator = InstanceGenerator(num_machines=2, seed=11)
+        chunks = list(generator.iter_job_chunks(1_000, chunk_size=300))
+        assert [len(c) for c in chunks] == [300, 300, 300, 100]
+        assert [c.start for c in chunks] == [0, 300, 600, 900]
+        assert chunks[0].sizes.shape == (300, 2)
+
+    def test_chunk_jobs_match_trusted_rows(self):
+        generator = InstanceGenerator(num_machines=2, seed=11)
+        (chunk,) = generator.iter_job_chunks(50, chunk_size=64)
+        jobs = chunk.jobs()
+        assert [j.id for j in jobs] == list(range(50))
+        assert jobs[3].sizes == tuple(float(p) for p in chunk.sizes[3])
+
+    def test_validate_rejects_bad_chunks(self):
+        good = JobChunk(0, np.array([0.0, 1.0]), np.array([[1.0], [2.0]]))
+        good.validate()
+        with pytest.raises(InvalidInstanceError):
+            JobChunk(0, np.array([1.0, 0.0]), np.array([[1.0], [2.0]])).validate()
+        with pytest.raises(InvalidInstanceError):
+            JobChunk(0, np.array([0.0, 1.0]), np.array([[1.0], [-2.0]])).validate()
+        with pytest.raises(InvalidInstanceError):
+            JobChunk(
+                0, np.array([0.0]), np.array([[np.inf]])
+            ).validate()  # no eligible machine
+        with pytest.raises(InvalidInstanceError):
+            JobChunk(
+                0,
+                np.array([0.0]),
+                np.array([[1.0]]),
+                deadlines=np.array([0.0]),
+            ).validate()
+
+
+class TestTrustedJobs:
+    def test_trusted_equals_validated_construction(self):
+        checked = Job(id=3, release=1.5, sizes=(2.0, 4.0), weight=2.0, deadline=9.0)
+        trusted = Job.trusted(3, 1.5, (2.0, 4.0), 2.0, 9.0)
+        assert checked == trusted
+        assert trusted.size_on(1) == 4.0
+        assert trusted.window() == pytest.approx(7.5)
+
+
+class TestE12Frontier:
+    def test_miniature_frontier_run(self):
+        result = run_experiment(
+            "E12",
+            job_counts=(200, 400),
+            algorithms=("rejection-flow", "fcfs"),
+            repeats=1,
+        )
+        rows = result.raw["rows"]
+        assert len(rows) == 4
+        assert {row["num_jobs"] for row in rows} == {200, 400}
+        for row in rows:
+            assert row["events_per_s"] > 0
+            assert row["wall_time_s"] > 0
+            assert row["events"] >= row["num_jobs"]
+        assert "E12" in result.render()
+
+    def test_dispatch_override_matches_default(self):
+        indexed = run_experiment("E12", job_counts=(300,), algorithms=("greedy",),
+                                 dispatch="indexed", repeats=1)
+        scanned = run_experiment("E12", job_counts=(300,), algorithms=("greedy",),
+                                 dispatch="scan", repeats=1)
+        # Wall times differ; the simulated schedules (event counts) must not.
+        assert indexed.raw["rows"][0]["events"] == scanned.raw["rows"][0]["events"]
+
+    def test_default_chunk_size_sane(self):
+        assert DEFAULT_CHUNK_SIZE >= 1_024
