@@ -13,6 +13,11 @@ contains:
   SRPT, HDF, AVR, YDS, offline heuristics);
 * :mod:`repro.solvers` — the string-keyed solver registry behind
   :func:`repro.solve`, the algorithm-agnostic entry point to every scheduler;
+* :mod:`repro.service` — the streaming surface: :func:`repro.open_session`
+  returns a :class:`~repro.service.session.SchedulerSession` that ingests
+  jobs incrementally, emits a typed decision-event stream, checkpoints via
+  canonical-JSON snapshots and finalizes into the same
+  :class:`~repro.solvers.outcome.SolveOutcome` as the batch facade;
 * :mod:`repro.lowerbounds` — certified lower bounds on the offline optimum;
 * :mod:`repro.workloads` — synthetic workload generators, including the
   adversarial constructions of Lemma 1 and Lemma 2;
@@ -60,6 +65,12 @@ from repro.solvers import (
     make_policy,
     solve,
 )
+from repro.service import (
+    DecisionEvent,
+    SchedulerSession,
+    open_session,
+    streaming_algorithms,
+)
 
 __version__ = "1.1.0"
 
@@ -99,5 +110,9 @@ __all__ = [
     "run_policy",
     "run_speed_policy",
     "solve",
+    "DecisionEvent",
+    "SchedulerSession",
+    "open_session",
+    "streaming_algorithms",
     "__version__",
 ]

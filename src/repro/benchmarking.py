@@ -266,6 +266,45 @@ def _bench_frontier_100k(scale: float) -> BenchCase:
     )
 
 
+def _bench_session_ingest(scale: float) -> BenchCase:
+    """Streaming-session ingestion of a 10k-job workload (Theorem 1).
+
+    The same workload the batch ``solver_facade``/``e1_poisson`` paths run,
+    fed job-by-job through ``open_session`` with a poll per submission —
+    the `repro serve` hot path.  The target is <10% overhead over batch
+    (asserted by ``benchmarks/bench_e13_session.py``); this case tracks the
+    session path's own events/s trajectory.
+    """
+    from repro.service import open_session
+    from repro.workloads.generators import InstanceGenerator
+
+    n = _scaled(10_000, scale)
+    generator = InstanceGenerator(num_machines=8, seed=1, size_distribution="pareto")
+    instance = generator.generate(n)
+
+    def run() -> int:
+        # retain_events=False matches how `repro serve` opens its session,
+        # so the gate tracks the configuration that actually serves.
+        session = open_session(
+            "rejection-flow", instance.machines, epsilon=0.5, retain_events=False
+        )
+        for job in instance.jobs:
+            session.submit(job)
+            session.poll()
+        outcome = session.finalize()
+        return outcome.result.extras["events"]
+
+    recipe = {"workload": "poisson-pareto", "machines": 8, "seed": 1, "n": n,
+              "algorithm": "rejection-flow(eps=0.5)", "path": "session-ingest",
+              "retain_events": False}
+    return BenchCase(
+        n_jobs=n,
+        fingerprint=_fingerprint(recipe),
+        run=run,
+        meta=recipe,
+    )
+
+
 #: The benchmark registry, in reporting order.
 SPECS: dict[str, BenchSpec] = {
     spec.slug: spec
@@ -284,6 +323,8 @@ SPECS: dict[str, BenchSpec] = {
                   _bench_event_queue),
         BenchSpec("solver_facade", "repro.solve() end to end (n=2k)",
                   _bench_solver_facade),
+        BenchSpec("e13_session", "streaming-session ingestion, poll per submit (n=10k)",
+                  _bench_session_ingest),
         BenchSpec("frontier_100k", "FCFS over a 100k-job instance (full runs only)",
                   _bench_frontier_100k, quick=False),
     )

@@ -10,7 +10,10 @@ print tables" to re-runnable (experiment × variant × seed × algorithm) grids:
 * :mod:`~repro.campaigns.runner` fans pending tasks out over worker
   processes and skips everything already in the store (resumability);
 * :mod:`~repro.campaigns.aggregate` merges artifacts into report tables and
-  CSV exports without re-running anything.
+  CSV exports without re-running anything;
+* :mod:`~repro.campaigns.session_replay` records streaming-session decision
+  traces as content-addressed artifacts and replays them to verify the
+  streaming path stays byte-deterministic.
 
 See docs/ARCHITECTURE.md for the data-flow diagram and the ``repro
 campaign`` CLI for the user-facing entry point.
@@ -33,6 +36,13 @@ from repro.campaigns.grids import (
     get_grid,
 )
 from repro.campaigns.runner import CampaignRunner, CampaignRunSummary, TaskOutcome
+from repro.campaigns.session_replay import (
+    TRACE_SCHEMA_VERSION,
+    SessionTrace,
+    record_session_trace,
+    replay_session_trace,
+    trace_key,
+)
 from repro.campaigns.store import ArtifactStore
 from repro.campaigns.tasks import (
     ARTIFACT_SCHEMA_VERSION,
@@ -53,6 +63,8 @@ __all__ = [
     "DEFAULT_MASTER_SEED",
     "GRIDS",
     "GridEntry",
+    "SessionTrace",
+    "TRACE_SCHEMA_VERSION",
     "TaskOutcome",
     "aggregate_tables",
     "algorithm_axis",
@@ -60,10 +72,13 @@ __all__ = [
     "export_csv",
     "get_grid",
     "payload_from_result",
+    "record_session_trace",
     "render_campaign_report",
+    "replay_session_trace",
     "result_from_payload",
     "run_task",
     "summary_table",
     "table_to_csv",
     "task_from_payload",
+    "trace_key",
 ]

@@ -1,0 +1,152 @@
+"""Recorded session traces in the campaign artifact store.
+
+A *session trace* is the full decision-event stream of one streaming
+:class:`~repro.service.session.SchedulerSession` run over a concrete
+instance, stored as a content-addressed canonical-JSON artifact — the same
+:class:`~repro.campaigns.store.ArtifactStore` machinery the campaign runner
+uses, with the same guarantees:
+
+* the artifact **key** hashes the trace configuration (instance content,
+  algorithm, validated parameters, dispatch mode), so recording the same
+  configuration twice is a cache hit, not a recomputation;
+* the **payload** is canonical JSON, so identical runs produce byte-identical
+  artifacts;
+* :func:`replay_session_trace` re-runs a stored trace from its embedded
+  instance and verifies the replayed decision stream and outcome are
+  byte-identical to what was recorded — the determinism gate for the
+  streaming path, mirroring the dispatch-mode equivalence gate of the
+  batch campaigns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.campaigns.store import ArtifactStore
+from repro.exceptions import InvalidParameterError
+from repro.simulation.instance import Instance
+from repro.utils.serialization import canonical_json, jsonify, stable_hash
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "SessionTrace",
+    "trace_key",
+    "record_session_trace",
+    "replay_session_trace",
+]
+
+#: Bump when the trace payload layout changes; part of the key, so stale
+#: artifacts are re-recorded instead of misread.
+TRACE_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SessionTrace:
+    """One recorded (or replayed) session trace.
+
+    ``cached`` is ``True`` when the artifact already existed and no session
+    ran; ``payload`` is the stored canonical-JSON document.
+    """
+
+    key: str
+    payload: dict
+    cached: bool
+
+    @property
+    def events(self) -> list[dict]:
+        """The recorded decision events (dicts, in emission order)."""
+        return self.payload["events"]
+
+    @property
+    def outcome_row(self) -> dict:
+        """The recorded ``SolveOutcome.as_row()`` of the finalized session."""
+        return self.payload["outcome"]
+
+
+def _trace_config(instance: Instance, algorithm: str, params: dict, dispatch: str) -> dict:
+    return {
+        "schema": TRACE_SCHEMA_VERSION,
+        "algorithm": algorithm,
+        "params": jsonify(params),
+        "dispatch": dispatch,
+        "instance": instance.to_dict(),
+    }
+
+
+def trace_key(instance: Instance, algorithm: str, params: dict, dispatch: str) -> str:
+    """Content-addressed artifact key of a trace configuration."""
+    return stable_hash(_trace_config(instance, algorithm, params, dispatch), length=32)
+
+
+def _run_trace(instance: Instance, algorithm: str, dispatch: str | None, params: dict) -> dict:
+    from repro.service import open_session
+
+    session = open_session(
+        algorithm, instance.machines, dispatch=dispatch, name=instance.name, **params
+    )
+    for job in instance.jobs:
+        session.submit(job)
+    outcome = session.finalize()
+    config = _trace_config(instance, algorithm, session.params, session.dispatch)
+    return {
+        **config,
+        "events": [event.as_dict() for event in session.events],
+        "outcome": outcome.as_row(),
+    }
+
+
+def record_session_trace(
+    store: ArtifactStore,
+    instance: Instance,
+    algorithm: str = "rejection-flow",
+    dispatch: str | None = None,
+    **params: Any,
+) -> SessionTrace:
+    """Run a streaming session over ``instance`` and store its trace.
+
+    Resumable exactly like campaign tasks: when the store already holds an
+    artifact for this configuration the stored payload is returned without
+    running anything (``cached=True``).
+    """
+    from repro.solvers.registry import get_solver
+    from repro.simulation.engine import default_dispatch_mode
+
+    spec = get_solver(algorithm)
+    validated = spec.validate_params(params)
+    effective_dispatch = default_dispatch_mode() if dispatch is None else dispatch
+    key = trace_key(instance, algorithm, validated, effective_dispatch)
+    if store.has(key):
+        return SessionTrace(key=key, payload=store.load(key), cached=True)
+    payload = _run_trace(instance, algorithm, dispatch, validated)
+    store.save(key, payload)
+    return SessionTrace(key=key, payload=payload, cached=False)
+
+
+def replay_session_trace(store: ArtifactStore, key: str) -> SessionTrace:
+    """Re-run a stored trace and verify it reproduces byte-identically.
+
+    Rebuilds the instance embedded in the artifact, streams it through a
+    fresh session under the recorded algorithm/parameters/dispatch mode, and
+    compares the replayed decision events and outcome against the stored
+    payload at the canonical-JSON byte level.  A mismatch raises — it means
+    the engine, the policy or the session lost determinism.
+    """
+    payload = store.load(key)
+    if payload.get("schema") != TRACE_SCHEMA_VERSION:
+        raise InvalidParameterError(
+            f"trace {key!r} has schema {payload.get('schema')!r}; "
+            f"this version replays schema {TRACE_SCHEMA_VERSION}"
+        )
+    instance = Instance.from_dict(payload["instance"])
+    params = {str(k): v for k, v in dict(payload["params"]).items()}
+    replayed = _run_trace(instance, payload["algorithm"], payload["dispatch"], params)
+    if canonical_json(replayed) != canonical_json(payload):
+        for field in ("events", "outcome"):
+            if canonical_json(replayed[field]) != canonical_json(payload[field]):
+                raise InvalidParameterError(
+                    f"trace {key!r} replay diverged in {field!r}: the streaming "
+                    "path is no longer deterministic for this configuration"
+                )
+        raise InvalidParameterError(f"trace {key!r} replay diverged from the stored payload")
+    return SessionTrace(key=key, payload=replayed, cached=False)

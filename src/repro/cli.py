@@ -1,10 +1,11 @@
 """Command-line interface.
 
-Five subcommands cover the common workflows::
+Six subcommands cover the common workflows::
 
     python -m repro experiments --only E1 E2 --scale small
     python -m repro simulate --jobs 200 --machines 4 --epsilon 0.5 --policy theorem1 --gantt
     python -m repro solve --algorithm rejection-flow --param epsilon=0.5 --jobs 200
+    python -m repro serve --algorithm rejection-flow --machines 4 < jobs.ndjson
     python -m repro bounds --epsilon 0.25 --alpha 3
     python -m repro campaign run --grid small --workers 4
 
@@ -14,7 +15,11 @@ Five subcommands cover the common workflows::
   and prints the summary (optionally an ASCII Gantt chart and a CSV trace).
 * ``solve`` runs *any* registered algorithm through the unified solver
   registry (``--list-algorithms`` enumerates them with their capability
-  metadata; ``--param name=value`` passes schema-validated parameters).
+  metadata; ``--param name=value`` passes schema-validated parameters;
+  ``--json`` emits the outcome row as canonical JSON for scripted callers).
+* ``serve`` runs a streaming scheduler session: newline-delimited job JSON in
+  (stdin or ``--trace FILE``), decision-event lines out as jobs arrive, and a
+  final summary line when the stream ends.
 * ``bounds`` prints the paper's closed-form guarantees for given parameters.
 * ``campaign`` runs (experiment × variant × seed) grids in parallel against a
   cached artifact store and aggregates the results (``run``/``list``/``report``).
@@ -40,6 +45,7 @@ from repro.simulation.engine import FlowTimeEngine
 from repro.simulation.metrics import summarize
 from repro.simulation.validation import validate_result
 from repro.solvers import list_algorithms, make_policy, solve
+from repro.utils.serialization import canonical_json
 from repro.utils.tabulate import format_table
 from repro.workloads.generators import InstanceGenerator
 
@@ -96,6 +102,33 @@ def build_parser() -> argparse.ArgumentParser:
                            help="power exponent of the generated machines")
     solve_cmd.add_argument("--size-distribution", default="pareto",
                            choices=("uniform", "exponential", "pareto", "bimodal"))
+    solve_cmd.add_argument(
+        "--json", action="store_true",
+        help="print the outcome row (SolveOutcome.as_row) as canonical JSON "
+             "instead of the human-readable summary",
+    )
+
+    serve = subparsers.add_parser(
+        "serve", help="stream newline-delimited job JSON through a scheduler session"
+    )
+    serve.add_argument("--algorithm", default="rejection-flow",
+                       help="streaming-capable registry id (see solve --list-algorithms)")
+    serve.add_argument("--machines", type=int, default=4,
+                       help="size of the identical machine fleet")
+    serve.add_argument("--alpha", type=float, default=3.0,
+                       help="power exponent of the machines (speed-scaling models)")
+    serve.add_argument(
+        "--param", action="append", default=[], metavar="NAME=VALUE",
+        help="algorithm parameter, validated against the registry schema (repeatable)",
+    )
+    serve.add_argument("--trace", default=None, metavar="FILE",
+                       help="read job lines from FILE instead of stdin ('-' = stdin)")
+    serve.add_argument("--dispatch", default=None, choices=("indexed", "scan"),
+                       help="engine dispatch mode (default: indexed, env REPRO_DISPATCH)")
+    serve.add_argument("--name", default=None,
+                       help="session label (used for the assembled instance and result)")
+    serve.add_argument("--quiet", action="store_true",
+                       help="suppress per-decision event lines (only the final summary)")
 
     bounds = subparsers.add_parser("bounds", help="print the paper's closed-form guarantees")
     bounds.add_argument("--epsilon", type=float, default=0.5)
@@ -213,7 +246,10 @@ def _parse_param(raw: str):
 def _cmd_solve(args: argparse.Namespace, out) -> int:
     if args.list_algorithms:
         rows = list_algorithms()
-        columns = ["algorithm", "model", "objective", "supports_rejection", "params"]
+        columns = [
+            "algorithm", "model", "objective",
+            "supports_rejection", "supports_streaming", "params",
+        ]
         print(
             format_table(
                 headers=columns,
@@ -236,6 +272,12 @@ def _cmd_solve(args: argparse.Namespace, out) -> int:
     if outcome.result is not None:
         validate_result(outcome.result)
 
+    if args.json:
+        # Canonical JSON keeps the output byte-stable for identical runs, so
+        # scripted callers can diff and cache it instead of scraping tables.
+        print(canonical_json(outcome.as_row()), file=out)
+        return 0
+
     print(f"instance      : {instance.name}", file=out)
     print(f"algorithm     : {outcome.algorithm} (model {outcome.model})", file=out)
     print(f"label         : {outcome.label}", file=out)
@@ -250,6 +292,62 @@ def _cmd_solve(args: argparse.Namespace, out) -> int:
         f"{100 * outcome.rejected_weight_fraction:.1f}% of weight)",
         file=out,
     )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace, out) -> int:
+    import contextlib
+
+    from repro.service import open_session
+    from repro.service.ndjson import event_line, final_line, read_jobs
+
+    params = dict(_parse_param(raw) for raw in args.param)
+    reserved = {
+        "algorithm", "machines", "alpha", "dispatch", "name", "retain_events",
+    } & params.keys()
+    if reserved:
+        raise ReproError(
+            f"--param cannot set session option(s) {sorted(reserved)}; use the "
+            "dedicated flags (--algorithm, --machines, --alpha, --dispatch, --name). "
+            "retain_events is fixed to false for serve (events are printed once, "
+            "not retained)"
+        )
+    session = open_session(
+        args.algorithm,
+        args.machines,
+        alpha=args.alpha,
+        dispatch=args.dispatch,
+        name=args.name,
+        # A serve stream may be long-lived; the CLI prints each event once,
+        # so retaining the whole decision stream would only grow memory.
+        retain_events=False,
+        **params,
+    )
+
+    if args.trace and args.trace != "-":
+        try:
+            stream_cm = open(args.trace, "r", encoding="utf-8")
+        except OSError as exc:
+            raise ReproError(f"cannot open trace file {args.trace!r}: {exc}") from exc
+    else:
+        stream_cm = contextlib.nullcontext(sys.stdin)
+    with stream_cm as stream:
+        for _, job in read_jobs(stream):
+            session.submit(job)
+            events = session.poll()
+            if events and not args.quiet:
+                for event in events:
+                    print(event_line(event), file=out)
+                # Flush per poll batch: with a piped stdout the stream would
+                # otherwise sit in the block buffer until EOF, defeating the
+                # "decisions out as jobs arrive" contract for live feeds.
+                out.flush()
+    outcome = session.finalize()
+    for event in session.take_events():
+        if not args.quiet:
+            print(event_line(event), file=out)
+    print(final_line(outcome.as_row()), file=out)
+    out.flush()
     return 0
 
 
@@ -359,6 +457,8 @@ def main(argv: list[str] | None = None, out=None, err=None) -> int:
             return _cmd_simulate(args, out)
         if args.command == "solve":
             return _cmd_solve(args, out)
+        if args.command == "serve":
+            return _cmd_serve(args, out)
         if args.command == "campaign":
             return _cmd_campaign(args, out)
         return _cmd_bounds(args, out)

@@ -80,3 +80,22 @@ class SolverModelError(InvalidParameterError):
     the algorithm does not run under, or when a registered factory produces a
     policy that does not implement the interface of its declared model.
     """
+
+
+class StreamingNotSupportedError(InvalidParameterError):
+    """An algorithm cannot run as a streaming scheduler session.
+
+    Raised by :func:`repro.open_session` for solvers without streaming
+    support — reference solvers and runners that must preprocess the whole
+    instance; the registry marks streaming-capable algorithms with
+    ``supports_streaming`` (see ``repro solve --list-algorithms``).
+    """
+
+
+class SessionStateError(ReproError):
+    """A :class:`~repro.service.session.SchedulerSession` was used out of order.
+
+    Examples: submitting a job with a release date earlier than an already
+    submitted one, submitting to a finalized session, or snapshotting after
+    ``finalize()``.
+    """

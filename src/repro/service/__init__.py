@@ -1,0 +1,33 @@
+"""Streaming service layer: scheduler sessions over the engine stepper.
+
+This subpackage is the online-facing API of the reproduction:
+
+* :mod:`repro.service.session` — :func:`open_session` /
+  :class:`SchedulerSession`: incremental job ingestion (single jobs or
+  ``JobChunk`` bulk rows), a typed decision-event stream, canonical-JSON
+  snapshot/restore checkpointing, and ``finalize()`` into the batch facade's
+  :class:`~repro.solvers.outcome.SolveOutcome`;
+* :mod:`repro.service.ndjson` — the newline-delimited JSON wire format used
+  by the ``repro serve`` CLI (job lines in, decision-event lines out).
+
+The decision-event type itself
+(:class:`~repro.simulation.stepper.DecisionEvent`) lives with its emitter in
+the simulation layer and is re-exported here.
+"""
+
+from repro.simulation.stepper import DECISION_KINDS, DecisionEvent
+from repro.service.session import (
+    SNAPSHOT_SCHEMA_VERSION,
+    SchedulerSession,
+    open_session,
+    streaming_algorithms,
+)
+
+__all__ = [
+    "DECISION_KINDS",
+    "DecisionEvent",
+    "SNAPSHOT_SCHEMA_VERSION",
+    "SchedulerSession",
+    "open_session",
+    "streaming_algorithms",
+]

@@ -1,0 +1,61 @@
+"""Newline-delimited JSON wire format for ``repro serve``.
+
+One JSON object per line, matching the serialisation the rest of the package
+already uses (:meth:`Job.to_dict` / :meth:`DecisionEvent.as_dict`, written
+through canonical JSON so identical streams are byte-identical):
+
+* **job lines** (input): ``{"id": 0, "release": 0.0, "sizes": [3.0, 4.0]}``
+  with optional ``weight`` and ``deadline`` — exactly
+  :meth:`~repro.simulation.job.Job.from_dict`;
+* **event lines** (output):
+  ``{"event": "decision", "kind": "dispatch", "time": ..., "job_id": ...,
+  "machine": ..., "speed": ..., "reason": ...}``;
+* a final **summary line**: ``{"event": "final", ...SolveOutcome.as_row()}``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterator, TextIO
+
+from repro.exceptions import InvalidParameterError
+from repro.simulation.job import Job
+from repro.simulation.stepper import DecisionEvent
+from repro.utils.serialization import canonical_json
+
+__all__ = ["read_jobs", "parse_job_line", "event_line", "final_line"]
+
+
+def parse_job_line(line: str, lineno: int = 0) -> Job:
+    """Decode one NDJSON job line into a :class:`Job`."""
+    try:
+        data = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise InvalidParameterError(f"line {lineno}: not valid JSON ({exc})") from exc
+    if not isinstance(data, dict):
+        raise InvalidParameterError(
+            f"line {lineno}: expected a JSON object, got {type(data).__name__}"
+        )
+    try:
+        return Job.from_dict(data)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise InvalidParameterError(f"line {lineno}: malformed job ({exc})") from exc
+
+
+def read_jobs(stream: TextIO) -> Iterator[tuple[int, Job]]:
+    """Yield ``(lineno, Job)`` for every non-empty, non-comment line."""
+    for lineno, raw in enumerate(stream, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        yield lineno, parse_job_line(line, lineno)
+
+
+def event_line(event: DecisionEvent) -> str:
+    """Encode one decision event as a canonical-JSON line."""
+    return canonical_json({"event": "decision", **event.as_dict()})
+
+
+def final_line(row: dict) -> str:
+    """Encode the end-of-stream summary (``SolveOutcome.as_row()``) line."""
+    return canonical_json({"event": "final", **row})

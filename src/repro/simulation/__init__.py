@@ -31,15 +31,13 @@ from repro.simulation.engine import (
     run_policy,
 )
 from repro.simulation.indexed import IndexedPending, PendingPrefixStats
+from repro.simulation.stepper import DecisionEvent, EngineStepper
 from repro.simulation.speed_engine import (
     SpeedScalingEngine,
     SpeedScalingPolicy,
     run_speed_policy,
 )
 
-#: Deprecated alias of :class:`ArrivalDecision`, kept for one release
-#: (importing it from ``repro.simulation.speed_engine`` warns).
-SpeedArrivalDecision = ArrivalDecision
 from repro.simulation.timeline import DiscreteTimeline, Strategy
 from repro.simulation.metrics import (
     total_flow_time,
@@ -51,6 +49,15 @@ from repro.simulation.metrics import (
 )
 from repro.simulation.validation import validate_result
 
+
+# Deprecated ``Speed*`` aliases (``SpeedArrivalDecision``, ``SpeedRejection``)
+# resolve lazily so each use warns; the previous eager re-export bypassed the
+# deprecation machinery entirely.
+from repro.simulation.decisions import make_deprecated_getattr as _make_deprecated_getattr
+
+__getattr__ = _make_deprecated_getattr(__name__)
+
+
 __all__ = [
     "Job",
     "Machine",
@@ -58,6 +65,8 @@ __all__ = [
     "ExecutionInterval",
     "JobRecord",
     "SimulationResult",
+    "DecisionEvent",
+    "EngineStepper",
     "FlowTimeEngine",
     "FlowTimePolicy",
     "NonPreemptiveEngine",
@@ -68,6 +77,8 @@ __all__ = [
     "Rejection",
     "SpeedScalingEngine",
     "SpeedScalingPolicy",
+    # Deprecated alias, kept listed for its one-release window; star-imports
+    # resolve it through __getattr__ and therefore see the warning.
     "SpeedArrivalDecision",
     "StartDecision",
     "run_policy",

@@ -23,9 +23,12 @@ The engine is policy-driven.  A policy implements three hooks:
 
 The event loop itself (arrival bookkeeping, stale-completion filtering,
 rejection of pending or running jobs) is shared with the speed-scaling engine
-via :class:`NonPreemptiveEngine`; the two models differ only in how a start
-decision translates into a ``(speed, duration)`` pair and in the extras they
-attach to the result.
+via :class:`NonPreemptiveEngine` and lives in the reentrant
+:class:`~repro.simulation.stepper.EngineStepper`; the two models differ only
+in how a start decision translates into a ``(speed, duration)`` pair and in
+the extras they attach to the result.  :meth:`NonPreemptiveEngine.run` is the
+batch wrapper — offer every job, drain, finish — while streaming callers
+(:mod:`repro.service`) drive a stepper directly.
 """
 
 from __future__ import annotations
@@ -36,16 +39,17 @@ from abc import ABC, abstractmethod
 
 from repro.exceptions import SimulationError
 from repro.simulation.decisions import ArrivalDecision, Rejection
-from repro.simulation.events import Event, EventKind, EventQueue
-from repro.simulation.indexed import IndexedPending, PendingPrefixStats, build_priority_ranks
 from repro.simulation.instance import Instance
 from repro.simulation.job import Job
-from repro.simulation.schedule import ExecutionInterval, JobRecord, SimulationResult
-from repro.simulation.state import EngineState, MachineState, RunningInfo
+from repro.simulation.schedule import ExecutionInterval, SimulationResult
+from repro.simulation.state import EngineState, MachineState
+from repro.simulation.stepper import DecisionEvent, EngineStepper
 
 __all__ = [
     "ArrivalDecision",
     "Rejection",
+    "DecisionEvent",
+    "EngineStepper",
     "FlowTimePolicy",
     "FlowTimeEngine",
     "NonPreemptiveEngine",
@@ -127,71 +131,28 @@ class NonPreemptiveEngine(ABC):
 
     # -- public API ----------------------------------------------------------------
 
+    def stepper(self, policy, observer=None) -> EngineStepper:
+        """Begin a reentrant run of ``policy``: an :class:`EngineStepper`.
+
+        The stepper owns the event loop state; jobs are ingested with
+        ``offer`` and events processed with ``step``/``advance_to``/``drain``.
+        ``observer`` receives one :class:`DecisionEvent` per scheduling
+        decision.
+        """
+        return EngineStepper(self, policy, observer=observer)
+
     def run(self, policy) -> SimulationResult:
-        """Simulate ``policy`` on the engine's instance and return the result."""
-        instance = self.instance
-        policy.reset(instance)
+        """Simulate ``policy`` on the engine's instance and return the result.
 
-        state = EngineState(instance)
-        key_fn = getattr(policy, "priority_key", None)
-        if not callable(key_fn):
-            key_fn = None
-        index: IndexedPending | None = None
-        stats_factory = None
-        if key_fn is not None:
-            if self.dispatch == "indexed":
-                index = IndexedPending(instance.num_machines, key_fn)
-            if getattr(policy, "wants_prefix_stats", False):
-
-                def stats_factory(key_fn=key_fn):
-                    ranks = build_priority_ranks(instance.jobs, instance.num_machines, key_fn)
-                    return PendingPrefixStats(ranks, instance.num_jobs)
-
-        state.install_priority(key_fn, index, stats_factory)
-
-        queue = EventQueue()
-        for job in instance.jobs:
-            queue.push_arrival(job.release, job.id)
-
-        records: dict[int, JobRecord] = {}
-        intervals: list[ExecutionInterval] = []
-        dispatched_machine: dict[int, int] = {}
-        event_count = 0
-        # Machines whose policy declined to start despite pending work; they
-        # must be re-offered at every event (pre-index semantics) because
-        # their answer may depend on global state the event did not touch.
-        recheck: set[int] = set()
-
-        while queue:
-            event = queue.pop()
-            state.time = event.time
-            event_count += 1
-
-            # Only machines the event touched can newly become startable:
-            # the completion's machine, the dispatch target, and any machine
-            # a rejection freed.  Shipped policies start whenever they have
-            # pending work, so untouched machines are either running or have
-            # an empty queue; ``recheck`` covers deliberately idling policies.
-            if event.kind == EventKind.COMPLETION:
-                self._handle_completion(event, state, records, intervals)
-                touched = {event.machine}
-            else:
-                touched = self._handle_arrival(
-                    event, policy, state, records, intervals, dispatched_machine
-                )
-
-            if recheck:
-                touched |= recheck
-            self._start_idle_machines(event.time, policy, state, queue, touched, recheck)
-
-        self._check_all_jobs_settled(instance, records)
-        return SimulationResult(
-            instance=instance,
-            records=records,
-            intervals=sorted(intervals, key=lambda iv: (iv.start, iv.machine)),
-            algorithm=policy.name,
-            extras=self._result_extras(intervals, event_count),
-        )
+        Batch wrapper over the stepper: every job of the instance is offered
+        up front (the identical arrival-seeding order of the historical
+        inlined loop), then the queue drains to completion — byte-identical
+        results in both dispatch modes.
+        """
+        stepper = self.stepper(policy)
+        stepper.offer_many(self.instance.jobs)
+        stepper.drain()
+        return stepper.finish()
 
     # -- model-specific hooks ------------------------------------------------------
 
@@ -209,194 +170,6 @@ class NonPreemptiveEngine(ABC):
     def _result_extras(self, intervals: list[ExecutionInterval], event_count: int) -> dict:
         """Extras attached to the simulation result."""
         return {"events": event_count}
-
-    # -- event handlers ------------------------------------------------------------
-
-    def _handle_completion(
-        self,
-        event: Event,
-        state: EngineState,
-        records: dict[int, JobRecord],
-        intervals: list[ExecutionInterval],
-    ) -> None:
-        ms = state.machines[event.machine]
-        if ms.version != event.version or ms.running is None or ms.running.job.id != event.job_id:
-            return  # stale completion (the job was rejected while running)
-        info = ms.running
-        ms.running = None
-        ms.version += 1
-        intervals.append(
-            ExecutionInterval(
-                machine=event.machine,
-                job_id=event.job_id,
-                start=info.start,
-                end=event.time,
-                speed=info.speed,
-                completed=True,
-            )
-        )
-        job = info.job
-        records[job.id] = JobRecord(
-            job_id=job.id,
-            weight=job.weight,
-            release=job.release,
-            machine=event.machine,
-            start=info.start,
-            completion=event.time,
-            rejected=False,
-        )
-
-    def _handle_arrival(
-        self,
-        event: Event,
-        policy,
-        state: EngineState,
-        records: dict[int, JobRecord],
-        intervals: list[ExecutionInterval],
-        dispatched_machine: dict[int, int],
-    ) -> set[int]:
-        job = state.job(event.job_id)
-        decision = policy.on_arrival(event.time, job, state)
-        touched: set[int] = set()
-
-        if decision.machine is None:
-            records[job.id] = JobRecord(
-                job_id=job.id,
-                weight=job.weight,
-                release=job.release,
-                machine=None,
-                start=None,
-                completion=None,
-                rejected=True,
-                rejection_time=event.time,
-                rejection_reason="immediate",
-            )
-        else:
-            machine = decision.machine
-            if not (0 <= machine < state.num_machines):
-                raise SimulationError(
-                    f"policy {policy.name!r} dispatched job {job.id} to invalid machine {machine}"
-                )
-            if math.isinf(job.size_on(machine)):
-                raise SimulationError(
-                    f"policy {policy.name!r} dispatched job {job.id} to forbidden machine {machine}"
-                )
-            state.add_pending(machine, job)
-            dispatched_machine[job.id] = machine
-            touched.add(machine)
-
-        for rejection in decision.rejections:
-            touched.add(
-                self._apply_rejection(
-                    event.time, rejection, state, records, intervals, dispatched_machine
-                )
-            )
-        return touched
-
-    def _apply_rejection(
-        self,
-        t: float,
-        rejection: Rejection,
-        state: EngineState,
-        records: dict[int, JobRecord],
-        intervals: list[ExecutionInterval],
-        dispatched_machine: dict[int, int],
-    ) -> int:
-        job_id = rejection.job_id
-        if job_id in records:
-            raise SimulationError(f"job {job_id} rejected after it already finished/was rejected")
-
-        # Case 1: the job is running somewhere -> interrupt it (Rule 1).
-        for ms in state.machines:
-            if ms.running is not None and ms.running.job.id == job_id:
-                info = ms.running
-                ms.running = None
-                ms.version += 1
-                if t > info.start:
-                    intervals.append(
-                        ExecutionInterval(
-                            machine=ms.index,
-                            job_id=job_id,
-                            start=info.start,
-                            end=t,
-                            speed=info.speed,
-                            completed=False,
-                        )
-                    )
-                records[job_id] = JobRecord(
-                    job_id=job_id,
-                    weight=info.job.weight,
-                    release=info.job.release,
-                    machine=ms.index,
-                    start=info.start,
-                    completion=None,
-                    rejected=True,
-                    rejection_time=t,
-                    rejection_reason=rejection.reason,
-                )
-                return ms.index
-
-        # Case 2: the job is pending on its dispatched machine.
-        machine = dispatched_machine.get(job_id)
-        if machine is None:
-            raise SimulationError(f"cannot reject job {job_id}: it was never dispatched")
-        ms = state.machines[machine]
-        if job_id not in ms.pending:
-            raise SimulationError(
-                f"cannot reject job {job_id}: not pending on machine {machine}"
-            )
-        state.remove_pending(machine, job_id)
-        job = state.job(job_id)
-        records[job_id] = JobRecord(
-            job_id=job_id,
-            weight=job.weight,
-            release=job.release,
-            machine=machine,
-            start=None,
-            completion=None,
-            rejected=True,
-            rejection_time=t,
-            rejection_reason=rejection.reason,
-        )
-        return machine
-
-    def _start_idle_machines(
-        self,
-        t: float,
-        policy,
-        state: EngineState,
-        queue: EventQueue,
-        machines: set[int],
-        recheck: set[int],
-    ) -> None:
-        for machine in sorted(machines):
-            ms = state.machines[machine]
-            if ms.running is not None or not ms.pending:
-                recheck.discard(machine)
-                continue
-            started = self._pick_start(t, policy, ms, state)
-            if started is None:
-                # The policy idles deliberately; keep re-offering this
-                # machine at every future event until it starts something.
-                recheck.add(machine)
-                continue
-            recheck.discard(machine)
-            job, speed, duration = started
-            state.remove_pending(machine, job.id)
-            ms.running = RunningInfo(job=job, start=t, finish=t + duration, speed=speed)
-            queue.push_completion(t + duration, job.id, ms.index, ms.version)
-
-    @staticmethod
-    def _check_all_jobs_settled(instance: Instance, records: dict[int, JobRecord]) -> None:
-        # A policy that leaves a machine idle forever while jobs are pending
-        # (select_next returning None with no future events) would starve
-        # them; the engine requires every job to finish or be rejected so
-        # that flow times are well defined.
-        missing = [job.id for job in instance.jobs if job.id not in records]
-        if missing:
-            raise SimulationError(
-                f"{len(missing)} job(s) never finished nor were rejected: {missing[:5]}"
-            )
 
 
 class FlowTimeEngine(NonPreemptiveEngine):

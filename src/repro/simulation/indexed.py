@@ -153,6 +153,21 @@ class PendingPrefixStats:
         """Priority rank of ``job_id`` on ``machine`` (0-based, unique)."""
         return self._ranks[machine][job_id]
 
+    @property
+    def universe_size(self) -> int:
+        """Number of jobs the rank universe was built over."""
+        return self._n
+
+    def knows(self, job_id: int) -> bool:
+        """Whether ``job_id`` is part of the rank universe.
+
+        Jobs registered after the build (streaming ingestion) have no rank;
+        the engine state routes them to the scan fallback until the trees
+        are rebuilt over the grown universe.  Rank dicts share one key set
+        across machines, so checking machine 0 suffices.
+        """
+        return job_id in self._ranks[0]
+
     def add(self, machine: int, job_id: int, size: float) -> None:
         """Record that the job became pending on ``machine``."""
         self._update(machine, self._ranks[machine][job_id], size, 1)

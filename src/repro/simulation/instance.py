@@ -225,6 +225,24 @@ class Instance:
         """Convenience constructor for one-machine instances (Lemma 1 / Lemma 2)."""
         return Instance.build((Machine(0, alpha=alpha),), jobs, name)
 
+    @staticmethod
+    def trusted(
+        machines: tuple[Machine, ...], jobs: tuple[Job, ...], name: str = "instance"
+    ) -> "Instance":
+        """Construct an instance **without** the ``__post_init__`` validation.
+
+        The counterpart of :meth:`Job.trusted` for producers that already
+        enforce the instance invariants incrementally — the streaming
+        session validates machine count, release ordering and id uniqueness
+        per submission, so re-scanning all jobs at finalize time would be
+        pure overhead.  Callers are responsible for upholding the invariants.
+        """
+        instance = object.__new__(Instance)
+        object.__setattr__(instance, "machines", machines)
+        object.__setattr__(instance, "jobs", jobs)
+        object.__setattr__(instance, "name", name)
+        return instance
+
     # -- serialisation -------------------------------------------------------------
 
     def to_dict(self) -> dict:

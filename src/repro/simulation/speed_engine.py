@@ -18,11 +18,15 @@ remain as deprecated aliases of the shared types for one release.
 from __future__ import annotations
 
 import math
-import warnings
 from abc import ABC, abstractmethod
 
 from repro.exceptions import SimulationError
-from repro.simulation.decisions import ArrivalDecision, Rejection, StartDecision
+from repro.simulation.decisions import (
+    ArrivalDecision,
+    Rejection,
+    StartDecision,
+    make_deprecated_getattr,
+)
 from repro.simulation.engine import NonPreemptiveEngine
 from repro.simulation.instance import Instance
 from repro.simulation.job import Job
@@ -38,25 +42,9 @@ __all__ = [
     "run_speed_policy",
 ]
 
-#: Deprecated aliases of the shared decision types; importing them warns so
-#: callers get a migration window before the names are removed next release.
-_DEPRECATED_ALIASES = {
-    "SpeedRejection": Rejection,
-    "SpeedArrivalDecision": ArrivalDecision,
-}
-
-
-def __getattr__(name: str):
-    replacement = _DEPRECATED_ALIASES.get(name)
-    if replacement is not None:
-        warnings.warn(
-            f"repro.simulation.speed_engine.{name} is deprecated; use "
-            f"repro.simulation.decisions.{replacement.__name__} instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return replacement
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+# Deprecated ``Speed*`` aliases resolve lazily with a DeprecationWarning;
+# the alias table and the handler live with the shared decision types.
+__getattr__ = make_deprecated_getattr(__name__)
 
 
 class SpeedScalingPolicy(ABC):

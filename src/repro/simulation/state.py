@@ -134,6 +134,11 @@ class EngineState:
         #: queues stay short never pay for rank building or tree updates.
         self.prefix_stats: "PendingPrefixStats | None" = None
         self._stats_factory: Callable[[], "PendingPrefixStats"] | None = None
+        #: Per-machine pending job ids outside the materialised rank
+        #: universe (streaming ingestion after materialisation).  While a
+        #: machine has any, its prefix queries fall back to the scan;
+        #: cleared on every rebuild.
+        self._stats_unranked: list[set[int]] = [set() for _ in range(instance.num_machines)]
         #: ``True`` while an engine drives this state (mutations flow through
         #: :meth:`add_pending`/:meth:`remove_pending`, so the running totals
         #: below are trustworthy).
@@ -165,6 +170,23 @@ class EngineState:
         self._stats_factory = stats_factory
         self.engine_attached = True
 
+    def register_job(self, job: Job) -> None:
+        """Engine hook: make ``job`` known to the state.
+
+        The batch path pre-registers every job of the instance at
+        construction; streaming sessions register jobs as they are ingested.
+        Re-registering an already-known id is a no-op overwrite that keeps
+        the registration order (``dict`` insertion order), which is what the
+        lazily-built prefix-rank universe iterates.
+
+        Jobs registered after the Fenwick prefix stats materialised are not
+        part of their rank universe; :meth:`add_pending` tracks them aside
+        and :meth:`pending_prefix` serves affected machines by scan until
+        the amortised rebuild policy rebuilds the trees (never hit by the
+        batch path, where every registration precedes the first event).
+        """
+        self._jobs[job.id] = job
+
     def add_pending(self, machine: int, job: Job) -> None:
         """Engine hook: ``job`` was dispatched to ``machine`` and now waits there.
 
@@ -180,7 +202,10 @@ class EngineState:
         if self._index is not None:
             self._index.push(machine, job)
         if self.prefix_stats is not None:
-            self.prefix_stats.add(machine, job.id, size)
+            if self.prefix_stats.knows(job.id):
+                self.prefix_stats.add(machine, job.id, size)
+            else:
+                self._stats_unranked[machine].add(job.id)
 
     def remove_pending(self, machine: int, job_id: int) -> None:
         """Engine hook: the pending job started or was rejected."""
@@ -191,7 +216,11 @@ class EngineState:
         # The select-next heaps invalidate lazily: the stale entry is skipped
         # when it surfaces in argmin.  The Fenwicks support true deletion.
         if self.prefix_stats is not None:
-            self.prefix_stats.remove(machine, job_id, size)
+            unranked = self._stats_unranked[machine]
+            if unranked and job_id in unranked:
+                unranked.discard(job_id)
+            else:
+                self.prefix_stats.remove(machine, job_id, size)
 
     def pending_size_sum(self, machine: int) -> float:
         """Engine-maintained total pending processing time on ``machine``.
@@ -264,6 +293,16 @@ class EngineState:
             if factory is None:
                 return None
             stats = self._materialise_stats(factory)
+        if self._stats_unranked[machine] or not stats.knows(job_id):
+            # Streaming ingestion grew the job universe past what the trees
+            # were ranked over.  Rebuilding per new job would be quadratic
+            # on a bursty serve stream, so rebuilds are amortised: only once
+            # the registered universe has doubled (geometric growth, O(n
+            # log n) total rebuild work); until then the affected queries
+            # take the scan fallback, which is correct at any queue length.
+            if len(self._jobs) < 2 * stats.universe_size:
+                return None
+            stats = self._materialise_stats(self._stats_factory)
         return stats.prefix_of(machine, job_id)
 
     def _materialise_stats(self, factory: Callable[[], "PendingPrefixStats"]) -> "PendingPrefixStats":
@@ -273,6 +312,11 @@ class EngineState:
         materialisation every tree sum equals the dispatch-order scan sum
         exactly; drift (float accumulation order) only appears with later
         removals, and identically in both dispatch modes.
+
+        The factory is kept installed: streaming ingestion grows the job
+        universe, and :meth:`pending_prefix`'s amortised rebuild policy
+        re-invokes it here over the grown universe (clearing the unranked
+        overflow sets — every registered job is rankable again).
         """
         stats = factory()
         jobs = self._jobs
@@ -280,7 +324,8 @@ class EngineState:
             for job_id in ms.pending:
                 stats.add(ms.index, job_id, jobs[job_id].sizes[ms.index])
         self.prefix_stats = stats
-        self._stats_factory = None
+        for unranked in self._stats_unranked:
+            unranked.clear()
         return stats
 
     def pending_argmin(

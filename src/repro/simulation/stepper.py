@@ -1,0 +1,489 @@
+"""Reentrant stepping core shared by both non-preemptive engines.
+
+Historically the whole event loop lived inside ``NonPreemptiveEngine.run()``:
+the engine seeded the queue with every arrival of a complete
+:class:`~repro.simulation.instance.Instance` and looped until the queue
+drained.  That shape is batch-only — the caller must know all jobs up front.
+The paper's setting is *online*, so the loop now lives here as an explicit,
+resumable session object:
+
+* :meth:`EngineStepper.offer` ingests one job (registers it with the state
+  and enqueues its arrival event) — jobs may keep arriving while the
+  simulation is under way, as long as time never runs backwards;
+* :meth:`EngineStepper.step` processes exactly one event;
+* :meth:`EngineStepper.advance_to` processes every event up to a time bound;
+* :meth:`EngineStepper.drain` processes everything currently enqueued;
+* :meth:`EngineStepper.finish` runs the end-of-simulation invariants and
+  builds the :class:`~repro.simulation.schedule.SimulationResult`.
+
+``NonPreemptiveEngine.run()`` is a thin wrapper — offer every job of the
+instance in order, drain, finish — that performs the *identical* sequence of
+queue and state operations the old inlined loop performed, so batch results
+are byte-for-byte unchanged in both dispatch modes (the equivalence suite
+asserts it).
+
+The stepper also carries the engine's **decision-event stream**: an optional
+``observer`` callable receives one :class:`DecisionEvent` per scheduling
+decision (dispatch / start / complete / reject, with timestamps), which is
+what the streaming :class:`~repro.service.session.SchedulerSession` exposes
+to callers.  With no observer installed the stream costs one attribute check
+per decision.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Mapping, NamedTuple
+
+from repro.exceptions import SimulationError
+from repro.simulation.events import Event, EventKind, EventQueue
+from repro.simulation.indexed import IndexedPending, PendingPrefixStats, build_priority_ranks
+from repro.simulation.instance import Instance
+from repro.simulation.job import Job
+from repro.simulation.schedule import ExecutionInterval, JobRecord, SimulationResult
+from repro.simulation.state import EngineState, RunningInfo
+
+__all__ = ["DecisionEvent", "DECISION_KINDS", "EngineStepper"]
+
+#: Kinds of decision events a stepper emits, in no particular order.
+DECISION_KINDS = ("dispatch", "start", "complete", "reject")
+
+
+class DecisionEvent(NamedTuple):
+    """One observable scheduling decision.
+
+    A ``NamedTuple`` rather than a dataclass: sessions record one of these
+    per decision on the engine's hot path, and tuple construction is several
+    times cheaper — the difference between the streaming path meeting its
+    <10% overhead budget and missing it.
+
+    Attributes
+    ----------
+    kind:
+        ``"dispatch"`` (an arriving job was assigned to a machine's queue),
+        ``"start"`` (a pending job began executing), ``"complete"`` (a
+        running job finished) or ``"reject"`` (a job was discarded — at
+        arrival, while pending, or while running).
+    time:
+        Simulation timestamp of the decision.
+    job_id / machine:
+        The job concerned and the machine involved (``None`` for immediate
+        rejections, which never reach a queue).
+    speed:
+        Execution speed for ``start``/``complete`` events (``None`` otherwise).
+    reason:
+        Rejection reason (``"immediate"``, ``"rule1"``, ``"rule2"``, ...) for
+        ``reject`` events; ``None`` otherwise.
+    """
+
+    kind: str
+    time: float
+    job_id: int
+    machine: int | None = None
+    speed: float | None = None
+    reason: str | None = None
+
+    def as_dict(self) -> dict:
+        """Plain-dict representation (JSON-serialisable, canonical field order)."""
+        return {
+            "kind": self.kind,
+            "time": self.time,
+            "job_id": self.job_id,
+            "machine": self.machine,
+            "speed": self.speed,
+            "reason": self.reason,
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping) -> "DecisionEvent":
+        """Inverse of :meth:`as_dict`."""
+        return DecisionEvent(
+            kind=str(data["kind"]),
+            time=float(data["time"]),
+            job_id=int(data["job_id"]),
+            machine=None if data.get("machine") is None else int(data["machine"]),
+            speed=None if data.get("speed") is None else float(data["speed"]),
+            reason=None if data.get("reason") is None else str(data["reason"]),
+        )
+
+
+class EngineStepper:
+    """Resumable event-loop state of one simulation run.
+
+    Construction prepares everything ``run()`` used to prepare — policy
+    reset, engine state, the indexed dispatch structures — but processes no
+    events.  Jobs enter through :meth:`offer`; events are processed by
+    :meth:`step` / :meth:`advance_to` / :meth:`drain`; :meth:`finish` seals
+    the run.
+
+    The stepper is single-use: after :meth:`finish` it refuses further
+    offers and steps (build a new stepper for a new run).
+    """
+
+    def __init__(self, engine, policy, observer: Callable[[DecisionEvent], None] | None = None):
+        self.engine = engine
+        self.policy = policy
+        self.observer = observer
+        instance = engine.instance
+        policy.reset(instance)
+
+        state = EngineState(instance)
+        key_fn = getattr(policy, "priority_key", None)
+        if not callable(key_fn):
+            key_fn = None
+        index: IndexedPending | None = None
+        stats_factory = None
+        if key_fn is not None:
+            if engine.dispatch == "indexed":
+                index = IndexedPending(instance.num_machines, key_fn)
+            if getattr(policy, "wants_prefix_stats", False):
+                num_machines = instance.num_machines
+
+                def stats_factory(state=state, key_fn=key_fn, num_machines=num_machines):
+                    # Ranks cover every job registered with the state at
+                    # materialisation time: the full instance on the batch
+                    # path (all jobs are offered before any event runs),
+                    # everything ingested so far on a streaming session.
+                    jobs = list(state.jobs_by_id.values())
+                    ranks = build_priority_ranks(jobs, num_machines, key_fn)
+                    return PendingPrefixStats(ranks, len(jobs))
+
+        state.install_priority(key_fn, index, stats_factory)
+
+        self.state = state
+        self.queue = EventQueue()
+        self.records: dict[int, JobRecord] = {}
+        self.intervals: list[ExecutionInterval] = []
+        self.event_count = 0
+        self._dispatched_machine: dict[int, int] = {}
+        self._offered: set[int] = set()
+        #: Time the simulation is known to have moved past: the latest
+        #: processed event or the highest ``advance_to`` bound.  Offers
+        #: below it would rewrite observed history and are rejected.
+        self._floor = 0.0
+        # Machines whose policy declined to start despite pending work; they
+        # must be re-offered at every event (pre-index semantics) because
+        # their answer may depend on global state the event did not touch.
+        self._recheck: set[int] = set()
+        self._finished = False
+
+    # -- ingestion -----------------------------------------------------------------
+
+    def offer(self, job: Job) -> None:
+        """Ingest ``job``: register it with the state and enqueue its arrival.
+
+        Streaming callers may keep offering jobs between steps; an offer in
+        the simulation's past — release earlier than an already-processed
+        event or below an :meth:`advance_to` bound — would rewrite observed
+        history and is rejected.
+        """
+        if self._finished:
+            raise SimulationError("cannot offer jobs to a finished stepper")
+        if job.id in self._offered:
+            raise SimulationError(f"job id {job.id} was already offered")
+        if job.release < self._floor:
+            raise SimulationError(
+                f"job {job.id} released at {job.release} but the simulation "
+                f"already reached {self._floor}"
+            )
+        self._offered.add(job.id)
+        self.state.register_job(job)
+        self.queue.push_arrival(job.release, job.id)
+
+    def offer_many(self, jobs) -> int:
+        """Bulk :meth:`offer`: the same contract, atomically.
+
+        The whole batch is validated before anything mutates, so a rejected
+        batch (duplicate id, release in the past) leaves the stepper exactly
+        as it was — callers' bookkeeping cannot drift out of sync with a
+        half-ingested batch.  Ingestion is on the streaming hot path (one
+        call per submitted job otherwise); the cached-locals loops are what
+        keep session ingestion within the batch path's throughput budget.
+        """
+        if self._finished:
+            raise SimulationError("cannot offer jobs to a finished stepper")
+        rows = jobs if isinstance(jobs, (list, tuple)) else list(jobs)
+        offered = self._offered
+        floor = self._floor
+        batch_ids: set[int] = set()
+        for job in rows:
+            job_id = job.id
+            if job_id in offered or job_id in batch_ids:
+                raise SimulationError(f"job id {job_id} was already offered")
+            if job.release < floor:
+                raise SimulationError(
+                    f"job {job_id} released at {job.release} but the simulation "
+                    f"already reached {floor}"
+                )
+            batch_ids.add(job_id)
+        register = self.state.register_job
+        push = self.queue.push_arrival
+        for job in rows:
+            register(job)
+            push(job.release, job.id)
+        offered.update(batch_ids)
+        return len(rows)
+
+    # -- stepping ------------------------------------------------------------------
+
+    def peek_time(self) -> float | None:
+        """Timestamp of the next enqueued event (``None`` when idle)."""
+        return self.queue.peek_time() if self.queue else None
+
+    def step(self) -> Event | None:
+        """Process exactly one event; returns it (``None`` when idle)."""
+        if self._finished:
+            raise SimulationError("cannot step a finished stepper")
+        if not self.queue:
+            return None
+        event = self.queue.pop()
+        state = self.state
+        state.time = event.time
+        if event.time > self._floor:
+            self._floor = event.time
+        self.event_count += 1
+
+        # Only machines the event touched can newly become startable: the
+        # completion's machine, the dispatch target, and any machine a
+        # rejection freed.  Shipped policies start whenever they have pending
+        # work, so untouched machines are either running or have an empty
+        # queue; ``_recheck`` covers deliberately idling policies.
+        if event.kind == EventKind.COMPLETION:
+            self._handle_completion(event)
+            touched = {event.machine}
+        else:
+            touched = self._handle_arrival(event)
+
+        if self._recheck:
+            touched |= self._recheck
+        self._start_idle_machines(event.time, touched)
+        return event
+
+    def advance_to(self, t: float) -> int:
+        """Process every enqueued event with timestamp at most ``t``.
+
+        Returns the number of events processed.  Advancing is the caller's
+        assertion that no job released strictly before ``t`` will be offered
+        afterwards (the stepper enforces it on later offers; release exactly
+        at the bound stays allowed — arrivals at equal timestamps process in
+        offer order either way).
+        """
+        processed = 0
+        queue = self.queue
+        while queue and queue.peek_time() <= t:
+            self.step()
+            processed += 1
+        if t > self._floor:
+            self._floor = t
+        return processed
+
+    def drain(self) -> int:
+        """Process every enqueued event; returns the number processed."""
+        processed = 0
+        while self.queue:
+            self.step()
+            processed += 1
+        return processed
+
+    # -- sealing -------------------------------------------------------------------
+
+    def finish(self, instance: Instance | None = None) -> SimulationResult:
+        """Seal the run and build the result.
+
+        ``instance`` defaults to the engine's instance; streaming sessions
+        pass the instance they assembled from the offered jobs.  Requires a
+        drained queue, and — as in the batch loop — every offered job must
+        have completed or been rejected.
+        """
+        if self.queue:
+            raise SimulationError(
+                f"finish() with {len(self.queue)} unprocessed event(s); drain() first"
+            )
+        missing = [job_id for job_id in self.state.jobs_by_id if job_id not in self.records]
+        if missing:
+            # A policy that leaves a machine idle forever while jobs are
+            # pending (select_next returning None with no future events)
+            # would starve them; every job must finish or be rejected so
+            # that flow times are well defined.
+            raise SimulationError(
+                f"{len(missing)} job(s) never finished nor were rejected: {missing[:5]}"
+            )
+        self._finished = True
+        result_instance = self.engine.instance if instance is None else instance
+        if instance is None and self._offered and not result_instance.jobs:
+            # Streaming run over a fleet-only engine instance: assemble the
+            # result instance from the offered jobs.  offer() does not
+            # require release-ordered ingestion (only releases at or above
+            # the floor), so sort the way Instance.build does.
+            result_instance = Instance(
+                result_instance.machines,
+                tuple(sorted(self.state.jobs_by_id.values(), key=lambda j: (j.release, j.id))),
+                name=result_instance.name,
+            )
+        return SimulationResult(
+            instance=result_instance,
+            records=self.records,
+            intervals=sorted(self.intervals, key=lambda iv: (iv.start, iv.machine)),
+            algorithm=self.policy.name,
+            extras=self.engine._result_extras(self.intervals, self.event_count),
+        )
+
+    # -- event handlers (the former run() loop body) -------------------------------
+
+    def _handle_completion(self, event: Event) -> None:
+        ms = self.state.machines[event.machine]
+        if ms.version != event.version or ms.running is None or ms.running.job.id != event.job_id:
+            return  # stale completion (the job was rejected while running)
+        info = ms.running
+        ms.running = None
+        ms.version += 1
+        self.intervals.append(
+            ExecutionInterval(
+                machine=event.machine,
+                job_id=event.job_id,
+                start=info.start,
+                end=event.time,
+                speed=info.speed,
+                completed=True,
+            )
+        )
+        job = info.job
+        self.records[job.id] = JobRecord(
+            job_id=job.id,
+            weight=job.weight,
+            release=job.release,
+            machine=event.machine,
+            start=info.start,
+            completion=event.time,
+            rejected=False,
+        )
+        if self.observer is not None:
+            self.observer(DecisionEvent("complete", event.time, job.id, event.machine, info.speed))
+
+    def _handle_arrival(self, event: Event) -> set[int]:
+        state = self.state
+        policy = self.policy
+        job = state.job(event.job_id)
+        decision = policy.on_arrival(event.time, job, state)
+        touched: set[int] = set()
+
+        if decision.machine is None:
+            self.records[job.id] = JobRecord(
+                job_id=job.id,
+                weight=job.weight,
+                release=job.release,
+                machine=None,
+                start=None,
+                completion=None,
+                rejected=True,
+                rejection_time=event.time,
+                rejection_reason="immediate",
+            )
+            if self.observer is not None:
+                self.observer(DecisionEvent("reject", event.time, job.id, None, None, "immediate"))
+        else:
+            machine = decision.machine
+            if not (0 <= machine < state.num_machines):
+                raise SimulationError(
+                    f"policy {policy.name!r} dispatched job {job.id} to invalid machine {machine}"
+                )
+            if math.isinf(job.size_on(machine)):
+                raise SimulationError(
+                    f"policy {policy.name!r} dispatched job {job.id} to forbidden machine {machine}"
+                )
+            state.add_pending(machine, job)
+            self._dispatched_machine[job.id] = machine
+            touched.add(machine)
+            if self.observer is not None:
+                self.observer(DecisionEvent("dispatch", event.time, job.id, machine))
+
+        for rejection in decision.rejections:
+            touched.add(self._apply_rejection(event.time, rejection))
+        return touched
+
+    def _apply_rejection(self, t: float, rejection) -> int:
+        state = self.state
+        job_id = rejection.job_id
+        if job_id in self.records:
+            raise SimulationError(f"job {job_id} rejected after it already finished/was rejected")
+
+        # Case 1: the job is running somewhere -> interrupt it (Rule 1).
+        for ms in state.machines:
+            if ms.running is not None and ms.running.job.id == job_id:
+                info = ms.running
+                ms.running = None
+                ms.version += 1
+                if t > info.start:
+                    self.intervals.append(
+                        ExecutionInterval(
+                            machine=ms.index,
+                            job_id=job_id,
+                            start=info.start,
+                            end=t,
+                            speed=info.speed,
+                            completed=False,
+                        )
+                    )
+                self.records[job_id] = JobRecord(
+                    job_id=job_id,
+                    weight=info.job.weight,
+                    release=info.job.release,
+                    machine=ms.index,
+                    start=info.start,
+                    completion=None,
+                    rejected=True,
+                    rejection_time=t,
+                    rejection_reason=rejection.reason,
+                )
+                if self.observer is not None:
+                    self.observer(
+                        DecisionEvent("reject", t, job_id, ms.index, None, rejection.reason)
+                    )
+                return ms.index
+
+        # Case 2: the job is pending on its dispatched machine.
+        machine = self._dispatched_machine.get(job_id)
+        if machine is None:
+            raise SimulationError(f"cannot reject job {job_id}: it was never dispatched")
+        ms = state.machines[machine]
+        if job_id not in ms.pending:
+            raise SimulationError(
+                f"cannot reject job {job_id}: not pending on machine {machine}"
+            )
+        state.remove_pending(machine, job_id)
+        job = state.job(job_id)
+        self.records[job_id] = JobRecord(
+            job_id=job_id,
+            weight=job.weight,
+            release=job.release,
+            machine=machine,
+            start=None,
+            completion=None,
+            rejected=True,
+            rejection_time=t,
+            rejection_reason=rejection.reason,
+        )
+        if self.observer is not None:
+            self.observer(DecisionEvent("reject", t, job_id, machine, None, rejection.reason))
+        return machine
+
+    def _start_idle_machines(self, t: float, machines: set[int]) -> None:
+        state = self.state
+        for machine in sorted(machines):
+            ms = state.machines[machine]
+            if ms.running is not None or not ms.pending:
+                self._recheck.discard(machine)
+                continue
+            started = self.engine._pick_start(t, self.policy, ms, state)
+            if started is None:
+                # The policy idles deliberately; keep re-offering this
+                # machine at every future event until it starts something.
+                self._recheck.add(machine)
+                continue
+            self._recheck.discard(machine)
+            job, speed, duration = started
+            state.remove_pending(machine, job.id)
+            ms.running = RunningInfo(job=job, start=t, finish=t + duration, speed=speed)
+            self.queue.push_completion(t + duration, job.id, ms.index, ms.version)
+            if self.observer is not None:
+                self.observer(DecisionEvent("start", t, job.id, machine, speed))

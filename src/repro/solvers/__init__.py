@@ -27,7 +27,7 @@ from repro.solvers.registry import (
     unregister_solver,
 )
 from repro.solvers.outcome import ReferenceRun, SolveOutcome
-from repro.solvers.facade import make_policy, solve
+from repro.solvers.facade import make_policy, outcome_from_result, solve
 
 __all__ = [
     "MODELS",
@@ -40,6 +40,7 @@ __all__ = [
     "get_solver",
     "list_algorithms",
     "make_policy",
+    "outcome_from_result",
     "register_solver",
     "unregister_solver",
     "solve",

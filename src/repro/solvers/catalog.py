@@ -52,6 +52,7 @@ register_solver(
         objective="total-flow-time",
         description="Theorem 1: flow-time minimisation with Rule 1 + Rule 2 rejections",
         supports_rejection=True,
+        supports_streaming=True,
         params=(
             _EPSILON,
             ParamSpec("enable_rule1", bool, default=True,
@@ -71,6 +72,7 @@ register_solver(
         objective="weighted-flow-time+energy",
         description="Theorem 2: weighted flow time plus energy with the weighted rejection rule",
         supports_rejection=True,
+        supports_streaming=True,
         params=(
             _EPSILON,
             ParamSpec("gamma", float, default=None, allow_none=True,
@@ -123,6 +125,7 @@ register_solver(
         model="fixed-speed",
         objective="total-flow-time",
         description="greedy marginal-increase dispatching, never rejects",
+        supports_streaming=True,
         params=(
             ParamSpec("local_order", str, default="spt", choices=("spt", "fcfs"),
                       description="per-machine execution order"),
@@ -138,6 +141,7 @@ register_solver(
         model="fixed-speed",
         objective="total-flow-time",
         description="least-loaded dispatching, first-come-first-served local order",
+        supports_streaming=True,
         factory=FCFSScheduler,
         tags=("baseline",),
     )
@@ -150,6 +154,7 @@ register_solver(
         objective="total-flow-time",
         description="Lemma 1 policy family: rejection decided at arrival only",
         supports_rejection=True,
+        supports_streaming=True,
         params=(
             ParamSpec("epsilon", float, default=0.25, minimum=0.0,
                       description="online rejection budget (fraction of released jobs)"),
@@ -190,6 +195,7 @@ register_solver(
         model="speed-scaling",
         objective="weighted-flow-time+energy",
         description="Theorem 2 scheduler with the rejection rule disabled (ablation)",
+        supports_streaming=True,
         params=(
             ParamSpec("epsilon", float, default=0.5, minimum=0.0, minimum_exclusive=True,
                       description="dispatching parameter (no rejections happen)"),

@@ -131,6 +131,22 @@ def solve(
         policy = _build_policy(spec, validated)
         result = _ENGINES[spec.model](instance).run(policy)
 
+    return outcome_from_result(spec, validated, result, policy=policy)
+
+
+def outcome_from_result(
+    spec: SolverSpec,
+    validated: dict[str, Any],
+    result: SimulationResult,
+    policy: Any = None,
+) -> SolveOutcome:
+    """Build the uniform :class:`SolveOutcome` from an engine run.
+
+    The shared back half of :func:`solve` for engine-model solvers — also
+    used by :meth:`repro.service.session.SchedulerSession.finalize`, so a
+    finalized session reports the exact objective breakdown the batch facade
+    would.
+    """
     summary = summarize(result)
     objective_value = {
         "total-flow-time": summary.total_flow_time,

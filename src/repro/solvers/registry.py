@@ -10,6 +10,10 @@ a stable algorithm id together with:
   ``reference`` for solvers computed combinatorially outside the engines);
 * the ``objective`` it optimises;
 * whether it may reject jobs (``supports_rejection``);
+* whether it can run as a streaming :class:`~repro.service.session.SchedulerSession`
+  (``supports_streaming``: policy-based engine solvers whose decisions depend
+  only on released jobs — reference solvers and instance-preprocessing
+  runners cannot stream);
 * a declarative parameter schema (:class:`ParamSpec`) used by
   :func:`repro.solve` to validate and default keyword parameters before any
   engine is touched.
@@ -120,6 +124,7 @@ class SolverSpec:
     objective: str
     description: str
     supports_rejection: bool = False
+    supports_streaming: bool = False
     params: tuple[ParamSpec, ...] = ()
     factory: Callable[..., Any] | None = None
     runner: Callable[..., Any] | None = None
@@ -143,6 +148,11 @@ class SolverSpec:
         if self.model == "reference" and self.runner is None:
             raise InvalidParameterError(
                 f"reference solver {self.algorithm_id!r} must define a runner"
+            )
+        if self.supports_streaming and self.factory is None:
+            raise InvalidParameterError(
+                f"solver {self.algorithm_id!r} declares supports_streaming but has no "
+                "policy factory; only policy-based engine solvers can stream"
             )
 
     def param_specs(self) -> dict[str, ParamSpec]:
@@ -181,9 +191,14 @@ def register_solver(spec: SolverSpec) -> SolverSpec:
     return spec
 
 
-def unregister_solver(algorithm_id: str) -> None:
-    """Remove a registration (used by tests for ad-hoc specs)."""
-    _REGISTRY.pop(algorithm_id, None)
+def unregister_solver(algorithm_id: str) -> bool:
+    """Remove a registration (used by tests for ad-hoc specs).
+
+    Returns ``True`` when a spec was removed, ``False`` when the id was not
+    registered — unknown ids are a no-op, not an error, so teardown code can
+    call this unconditionally.
+    """
+    return _REGISTRY.pop(algorithm_id, None) is not None
 
 
 def _ensure_catalog() -> None:
@@ -228,6 +243,7 @@ def list_algorithms() -> list[dict[str, Any]]:
                 "model": spec.model,
                 "objective": spec.objective,
                 "supports_rejection": spec.supports_rejection,
+                "supports_streaming": spec.supports_streaming,
                 "params": spec.describe_params(),
                 "description": spec.description,
             }

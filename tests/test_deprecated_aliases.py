@@ -1,0 +1,70 @@
+"""Deprecated ``Speed*`` decision aliases: warning on use, identical behavior.
+
+The shared decision types live in :mod:`repro.simulation.decisions`; the
+historical ``SpeedRejection`` / ``SpeedArrivalDecision`` spellings remain for
+one release and must (a) emit a :class:`DeprecationWarning` from every module
+that exposes them and (b) still *be* the shared types, so existing policies
+behave identically.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.simulation.decisions import ArrivalDecision, Rejection
+
+_SURFACES = [
+    "repro.simulation.decisions",
+    "repro.simulation.speed_engine",
+    "repro.simulation",
+]
+
+_ALIASES = {
+    "SpeedRejection": Rejection,
+    "SpeedArrivalDecision": ArrivalDecision,
+}
+
+
+def _resolve(module_name: str, attr: str):
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)
+
+
+class TestDeprecationWarnings:
+    @pytest.mark.parametrize("module_name", _SURFACES)
+    @pytest.mark.parametrize("alias", sorted(_ALIASES))
+    def test_alias_access_warns(self, module_name, alias):
+        with pytest.warns(DeprecationWarning, match=f"{alias} is deprecated"):
+            _resolve(module_name, alias)
+
+    @pytest.mark.parametrize("module_name", _SURFACES)
+    def test_unknown_attribute_still_raises(self, module_name):
+        with pytest.raises(AttributeError):
+            _resolve(module_name, "DefinitelyNotAnAttribute")
+
+
+class TestAliasIdentity:
+    @pytest.mark.parametrize("module_name", _SURFACES)
+    @pytest.mark.parametrize("alias", sorted(_ALIASES))
+    def test_alias_is_shared_type(self, module_name, alias):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            assert _resolve(module_name, alias) is _ALIASES[alias]
+
+    def test_aliases_behave_identically(self):
+        # Not copies with equal behavior — the same classes, so every
+        # constructor, helper and equality comparison matches exactly.
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            from repro.simulation.speed_engine import (  # noqa: F401
+                SpeedArrivalDecision,
+                SpeedRejection,
+            )
+        legacy = SpeedArrivalDecision.dispatch(1, [SpeedRejection(7, reason="rule1")])
+        modern = ArrivalDecision.dispatch(1, [Rejection(7, reason="rule1")])
+        assert legacy == modern
+        assert type(legacy) is ArrivalDecision
+        assert legacy.rejections[0] == Rejection(7, reason="rule1")

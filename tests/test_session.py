@@ -1,0 +1,638 @@
+"""Streaming ``SchedulerSession``: batch equivalence, checkpointing, stream.
+
+The contract of the streaming API (PR: SchedulerSession) is threefold:
+
+* **Batch equivalence** — replaying any instance through
+  ``submit_many`` + ``finalize()`` yields byte-identical schedules and
+  objectives to ``repro.solve()`` for every streaming-capable algorithm, in
+  both dispatch modes (property-based below, plus a deep-queue burst that
+  exercises the Fenwick order-statistics path);
+* **Checkpointing** — a canonical-JSON ``snapshot()`` taken mid-run and
+  ``restore()``-d resumes to the same final result and the same
+  decision-event stream;
+* **Observability** — the decision-event stream is complete and consistent
+  with the per-job records.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from test_property_based import flow_instances
+
+import repro
+from repro.exceptions import (
+    InvalidParameterError,
+    SessionStateError,
+    SimulationError,
+    StreamingNotSupportedError,
+)
+from repro.service import DecisionEvent, SchedulerSession, open_session, streaming_algorithms
+from repro.service.ndjson import event_line, parse_job_line, read_jobs
+from repro.simulation.engine import FlowTimeEngine
+from repro.simulation.instance import Instance
+from repro.simulation.job import Job
+from repro.solvers import get_solver, solve
+from repro.workloads.adversarial import overload_burst_instance
+from repro.workloads.generators import InstanceGenerator, WeightedInstanceGenerator
+
+_DISPATCH_MODES = ("indexed", "scan")
+
+#: Streaming algorithms with their parameter sets used across the suite.
+_FLOW_STREAMING = [
+    ("rejection-flow", {"epsilon": 0.5}),
+    ("greedy", {}),
+    ("fcfs", {}),
+    ("immediate-rejection", {"epsilon": 0.25}),
+]
+
+
+def _assert_outcome_identical(streamed, batch):
+    assert streamed.objective_value == batch.objective_value
+    assert streamed.breakdown == batch.breakdown
+    assert streamed.rejected_count == batch.rejected_count
+    assert streamed.result.records == batch.result.records
+    assert streamed.result.intervals == batch.result.intervals
+    assert streamed.result.extras == batch.result.extras
+
+
+def _replay(instance, algorithm, dispatch=None, **params):
+    session = open_session(algorithm, instance.machines, dispatch=dispatch, **params)
+    session.submit_many(instance.jobs)
+    return session, session.finalize()
+
+
+# --------------------------------------------------------------------------------------
+# Batch equivalence
+# --------------------------------------------------------------------------------------
+
+
+class TestBatchEquivalence:
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(instance=flow_instances(), epsilon=st.sampled_from([0.1, 0.3, 0.5, 0.8]))
+    def test_theorem1_replay_identical(self, instance, epsilon):
+        for dispatch in _DISPATCH_MODES:
+            batch = solve(instance, "rejection-flow", epsilon=epsilon)
+            _, streamed = _replay(instance, "rejection-flow", dispatch=dispatch, epsilon=epsilon)
+            _assert_outcome_identical(streamed, batch)
+
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(instance=flow_instances())
+    def test_all_flow_streaming_algorithms_identical(self, instance):
+        for algorithm, params in _FLOW_STREAMING:
+            batch = solve(instance, algorithm, **params)
+            for dispatch in _DISPATCH_MODES:
+                _, streamed = _replay(instance, algorithm, dispatch=dispatch, **params)
+                _assert_outcome_identical(streamed, batch)
+
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(instance=flow_instances(max_jobs=10), epsilon=st.sampled_from([0.3, 0.5]))
+    def test_speed_scaling_replay_identical(self, instance, epsilon):
+        alpha_instance = instance.with_alpha(2.5)
+        batch = solve(alpha_instance, "rejection-energy-flow", epsilon=epsilon)
+        for dispatch in _DISPATCH_MODES:
+            _, streamed = _replay(
+                alpha_instance, "rejection-energy-flow", dispatch=dispatch, epsilon=epsilon
+            )
+            _assert_outcome_identical(streamed, batch)
+
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(instance=flow_instances())
+    def test_interleaved_polling_identical(self, instance):
+        # Submitting one job at a time with a poll in between must make the
+        # same decisions as the batch run (events observed "as they happen").
+        batch = solve(instance, "rejection-flow", epsilon=0.5)
+        session = open_session("rejection-flow", instance.machines, epsilon=0.5)
+        for job in instance.jobs:
+            session.submit(job)
+            session.poll()
+        _assert_outcome_identical(session.finalize(), batch)
+
+    def test_deep_queue_interleaved_polling_survives_growth(self):
+        # Regression: the Fenwick prefix stats materialise mid-stream on
+        # this path (queues outgrow the cutoff while later jobs are still
+        # unsubmitted); jobs registered afterwards must be rankable — this
+        # used to KeyError in prefix_of on the `repro serve` hot path.
+        from repro.simulation.validation import validate_result
+
+        instance = overload_burst_instance(num_machines=2, burst_jobs=40, trailing_shorts=80)
+        session = open_session("rejection-flow", instance.machines, epsilon=0.4)
+        for job in instance.jobs:
+            session.submit(job)
+            session.poll()
+        outcome = session.finalize()
+        validate_result(outcome.result)
+        assert len(outcome.result.records) == instance.num_jobs
+        # Deterministic: replaying the identical op interleaving (what
+        # snapshot/restore does) reproduces the identical result.
+        repeat = open_session("rejection-flow", instance.machines, epsilon=0.4)
+        for job in instance.jobs:
+            repeat.submit(job)
+            repeat.poll()
+        _assert_outcome_identical(repeat.finalize(), outcome)
+
+    def test_deep_queue_burst_identical(self):
+        # Queues far beyond PREFIX_SCAN_CUTOFF force the Fenwick
+        # order-statistics branch; the session must materialise the same
+        # rank universe as the batch run.
+        instance = overload_burst_instance(num_machines=4, burst_jobs=60, trailing_shorts=150)
+        batch = solve(instance, "rejection-flow", epsilon=0.4)
+        assert batch.rejected_count > 0
+        for dispatch in _DISPATCH_MODES:
+            _, streamed = _replay(instance, "rejection-flow", dispatch=dispatch, epsilon=0.4)
+            _assert_outcome_identical(streamed, batch)
+
+    def test_generated_instance_identical(self):
+        instance = InstanceGenerator(num_machines=6, seed=42).generate(500)
+        batch = solve(instance, "rejection-flow", epsilon=0.5)
+        _, streamed = _replay(instance, "rejection-flow", epsilon=0.5)
+        _assert_outcome_identical(streamed, batch)
+
+    def test_weighted_speed_scaling_generated(self):
+        instance = WeightedInstanceGenerator(num_machines=3, seed=5, alpha=2.5).generate(80)
+        batch = solve(instance, "rejection-energy-flow", epsilon=0.5)
+        _, streamed = _replay(instance, "rejection-energy-flow", epsilon=0.5)
+        _assert_outcome_identical(streamed, batch)
+
+
+# --------------------------------------------------------------------------------------
+# JobChunk ingestion
+# --------------------------------------------------------------------------------------
+
+
+class TestChunkIngestion:
+    def test_submit_many_accepts_job_chunks(self):
+        generator = InstanceGenerator(num_machines=4, seed=11)
+        instance = generator.generate_large(600, chunk_size=128)
+        session = open_session("rejection-flow", generator.machines(), epsilon=0.5)
+        total = 0
+        for chunk in generator.iter_job_chunks(600, chunk_size=128):
+            total += session.submit_many(chunk)
+        assert total == 600
+        streamed = session.finalize()
+        batch = solve(instance, "rejection-flow", epsilon=0.5)
+        _assert_outcome_identical(streamed, batch)
+
+    def test_chunked_and_listwise_agree(self):
+        generator = InstanceGenerator(num_machines=2, seed=3)
+        instance = generator.generate_large(100, chunk_size=32)
+        by_chunk = open_session("fcfs", generator.machines())
+        for chunk in generator.iter_job_chunks(100, chunk_size=32):
+            by_chunk.submit_many(chunk)
+        by_list = open_session("fcfs", generator.machines())
+        by_list.submit_many(instance.jobs)
+        _assert_outcome_identical(by_chunk.finalize(), by_list.finalize())
+
+
+# --------------------------------------------------------------------------------------
+# Snapshot / restore
+# --------------------------------------------------------------------------------------
+
+
+class TestSnapshotRestore:
+    def _mid_run_session(self, instance, polled: bool):
+        session = open_session("rejection-flow", instance.machines, epsilon=0.5)
+        half = len(instance.jobs) // 2
+        for job in instance.jobs[:half]:
+            session.submit(job)
+        if polled:
+            session.poll()
+        return session, half
+
+    @pytest.mark.parametrize("polled", [False, True])
+    def test_restore_resumes_to_same_final_result(self, polled):
+        instance = InstanceGenerator(num_machines=3, seed=17).generate(120)
+        batch = solve(instance, "rejection-flow", epsilon=0.5)
+        session, half = self._mid_run_session(instance, polled)
+        restored = SchedulerSession.restore(session.snapshot())
+        for job in instance.jobs[half:]:
+            session.submit(job)
+            restored.submit(job)
+        original = session.finalize()
+        resumed = restored.finalize()
+        _assert_outcome_identical(resumed, original)
+        _assert_outcome_identical(resumed, batch)
+        assert restored.events == session.events
+
+    def test_restore_from_json_string(self):
+        instance = InstanceGenerator(num_machines=2, seed=23).generate(40)
+        session, half = self._mid_run_session(instance, polled=True)
+        payload = session.to_json()
+        restored = SchedulerSession.restore(payload)
+        assert restored.algorithm == "rejection-flow"
+        assert restored.num_submitted == half
+        assert restored.time == session.time
+        # the restored consume cursor matches: no already-handed-out events
+        # are re-delivered.
+        assert restored.take_events() == session.take_events()
+
+    def test_snapshot_roundtrip_is_stable(self):
+        instance = InstanceGenerator(num_machines=2, seed=29).generate(30)
+        session, _ = self._mid_run_session(instance, polled=True)
+        snap = session.to_json()
+        assert SchedulerSession.restore(snap).to_json() == snap
+
+    def test_op_log_stays_compact_on_serve_pattern(self):
+        # One submit + one poll per job (the serve loop) must not grow the
+        # op log per job: runs compress to a single submit_poll_each entry,
+        # and the snapshot still restores to an identical session.
+        session = open_session("fcfs", 2, retain_events=False)
+        for i in range(100):
+            session.submit(Job(i, float(i), (1.0, 1.0)))
+            session.poll()
+        snapshot = session.snapshot()
+        assert len(snapshot["ops"]) <= 3
+        restored = SchedulerSession.restore(snapshot)
+        assert restored.to_json() == session.to_json()
+        _assert_outcome_identical(restored.finalize(), session.finalize())
+
+    def test_restore_of_unretained_session_matches_buffer_state(self):
+        # restore() must reproduce the freed-buffer semantics: events the
+        # original handed out (and freed) must not reappear on .events or be
+        # re-delivered by take_events().
+        instance = InstanceGenerator(num_machines=2, seed=67).generate(40)
+        for consume_with in ("advance", "poll"):
+            session = open_session(
+                "fcfs", instance.machines, retain_events=False
+            )
+            for job in instance.jobs[:20]:
+                session.submit(job)
+                if consume_with == "poll":
+                    session.poll()
+            if consume_with == "advance":
+                session.advance_to(session._watermark)
+            restored = SchedulerSession.restore(session.snapshot())
+            assert restored.events == session.events
+            assert restored.take_events() == session.take_events()
+            for job in instance.jobs[20:]:
+                session.submit(job)
+                restored.submit(job)
+            _assert_outcome_identical(restored.finalize(), session.finalize())
+
+    def test_restore_rejects_unknown_schema(self):
+        session = open_session("fcfs", 2)
+        snapshot = session.snapshot()
+        snapshot["schema"] = 999
+        with pytest.raises(SessionStateError, match="schema"):
+            SchedulerSession.restore(snapshot)
+
+    def test_snapshot_after_finalize_rejected(self):
+        session = open_session("fcfs", 2)
+        session.submit(Job(0, 0.0, (1.0, 2.0)))
+        session.finalize()
+        with pytest.raises(SessionStateError, match="finalized"):
+            session.snapshot()
+
+    def test_deep_queue_snapshot_resumes_identically(self):
+        # Snapshot in the middle of a burst (Fenwick stats materialised).
+        instance = overload_burst_instance(num_machines=2, burst_jobs=40, trailing_shorts=80)
+        session = open_session("rejection-flow", instance.machines, epsilon=0.4)
+        cut = 60
+        for job in instance.jobs[:cut]:
+            session.submit(job)
+        session.poll()
+        restored = SchedulerSession.restore(session.to_json())
+        for job in instance.jobs[cut:]:
+            session.submit(job)
+            restored.submit(job)
+        _assert_outcome_identical(restored.finalize(), session.finalize())
+
+
+# --------------------------------------------------------------------------------------
+# Decision-event stream
+# --------------------------------------------------------------------------------------
+
+
+class TestDecisionStream:
+    def test_stream_consistent_with_records(self):
+        instance = InstanceGenerator(num_machines=3, seed=31).generate(150)
+        session, outcome = _replay(instance, "rejection-flow", epsilon=0.5)
+        events = session.events
+        by_kind: dict[str, set[int]] = {"dispatch": set(), "start": set(),
+                                        "complete": set(), "reject": set()}
+        for event in events:
+            by_kind[event.kind].add(event.job_id)
+        for record in outcome.result.records.values():
+            if record.rejected:
+                assert record.job_id in by_kind["reject"]
+                assert record.job_id not in by_kind["complete"]
+            else:
+                assert record.job_id in by_kind["dispatch"]
+                assert record.job_id in by_kind["start"]
+                assert record.job_id in by_kind["complete"]
+
+    def test_stream_is_time_ordered(self):
+        instance = InstanceGenerator(num_machines=2, seed=37).generate(60)
+        session, _ = _replay(instance, "fcfs")
+        times = [event.time for event in session.events]
+        assert times == sorted(times)
+
+    def test_unretained_sessions_free_consumed_events(self):
+        # Long-lived serve streams pass retain_events=False: handed-out
+        # events are dropped from the buffer, so memory stays bounded.
+        instance = InstanceGenerator(num_machines=2, seed=43).generate(200)
+        session = open_session(
+            "rejection-flow", instance.machines, epsilon=0.5, retain_events=False
+        )
+        handed_out = 0
+        for job in instance.jobs:
+            session.submit(job)
+            handed_out += len(session.poll())
+            assert len(session.events) == 0  # everything consumed was freed
+        outcome = session.finalize()
+        handed_out += len(session.take_events())
+        retained = open_session("rejection-flow", instance.machines, epsilon=0.5)
+        retained.submit_many(instance.jobs)
+        ref = retained.finalize()
+        assert handed_out == len(retained.events)
+        _assert_outcome_identical(outcome, ref)
+
+    def test_poll_hands_out_each_event_once(self):
+        instance = InstanceGenerator(num_machines=2, seed=41).generate(50)
+        session = open_session("rejection-flow", instance.machines, epsilon=0.5)
+        handed_out: list[DecisionEvent] = []
+        for job in instance.jobs:
+            session.submit(job)
+            handed_out.extend(session.poll())
+        session.finalize()
+        handed_out.extend(session.take_events())
+        assert tuple(handed_out) == session.events
+
+    def test_event_dict_roundtrip(self):
+        event = DecisionEvent("reject", 3.5, 7, machine=1, reason="rule2")
+        assert DecisionEvent.from_dict(event.as_dict()) == event
+        assert DecisionEvent.from_dict(
+            {"kind": "start", "time": 1.0, "job_id": 2, "machine": 0, "speed": 2.0}
+        ) == DecisionEvent("start", 1.0, 2, machine=0, speed=2.0)
+
+
+# --------------------------------------------------------------------------------------
+# Session state machine and error paths
+# --------------------------------------------------------------------------------------
+
+
+class TestSessionErrors:
+    def test_non_streaming_algorithm_rejected(self):
+        for algorithm in ("yds", "srpt-pooled", "speed-augmentation", "config-lp-energy"):
+            with pytest.raises(StreamingNotSupportedError, match="streaming"):
+                open_session(algorithm, 2)
+
+    def test_streaming_metadata_matches_gate(self):
+        for algorithm in streaming_algorithms():
+            assert get_solver(algorithm).supports_streaming
+
+    def test_out_of_order_release_rejected(self):
+        session = open_session("fcfs", 2)
+        session.submit(Job(0, 5.0, (1.0, 1.0)))
+        with pytest.raises(SessionStateError, match="non-decreasing"):
+            session.submit(Job(1, 4.0, (1.0, 1.0)))
+
+    def test_duplicate_id_rejected(self):
+        session = open_session("fcfs", 2)
+        session.submit(Job(0, 0.0, (1.0, 1.0)))
+        with pytest.raises(SimulationError, match="already offered"):
+            session.submit(Job(0, 1.0, (1.0, 1.0)))
+
+    def test_submit_many_duplicate_id_is_atomic(self):
+        # Regression: a rejected batch must leave the session (and the
+        # stepper underneath) exactly as it was — previously the jobs
+        # preceding the duplicate were half-ingested, desyncing
+        # finalize()/snapshot() from the engine.
+        session = open_session("fcfs", 2)
+        session.submit(Job(0, 0.0, (1.0, 1.0)))
+        with pytest.raises(SimulationError, match="already offered"):
+            session.submit_many([Job(1, 1.0, (1.0, 1.0)), Job(0, 1.0, (2.0, 2.0))])
+        assert session.num_submitted == 1
+        # the session is still fully usable and consistent
+        session.submit_many([Job(1, 1.0, (1.0, 1.0)), Job(2, 2.0, (1.0, 1.0))])
+        outcome = session.finalize()
+        assert sorted(outcome.result.records) == [0, 1, 2]
+
+    def test_submit_many_duplicate_within_batch_is_atomic(self):
+        session = open_session("fcfs", 2)
+        with pytest.raises(SimulationError, match="already offered"):
+            session.submit_many([Job(5, 0.0, (1.0, 1.0)), Job(5, 0.0, (1.0, 1.0))])
+        assert session.num_submitted == 0
+        assert session.snapshot()["ops"] == []
+
+    def test_wrong_size_vector_rejected(self):
+        session = open_session("fcfs", 2)
+        with pytest.raises(InvalidParameterError, match="size vector"):
+            session.submit(Job(0, 0.0, (1.0,)))
+
+    def test_submit_after_finalize_rejected(self):
+        session = open_session("fcfs", 2)
+        session.submit(Job(0, 0.0, (1.0, 1.0)))
+        session.finalize()
+        with pytest.raises(SessionStateError, match="finalized"):
+            session.submit(Job(1, 1.0, (1.0, 1.0)))
+        with pytest.raises(SessionStateError, match="finalized"):
+            session.poll()
+
+    def test_finalize_is_idempotent(self):
+        session = open_session("fcfs", 2)
+        session.submit(Job(0, 0.0, (1.0, 1.0)))
+        assert session.finalize() is session.finalize()
+
+    def test_params_validated_at_open(self):
+        with pytest.raises(InvalidParameterError):
+            open_session("rejection-flow", 2, epsilon=-1.0)
+        with pytest.raises(InvalidParameterError, match="unknown parameter"):
+            open_session("rejection-flow", 2, nonsense=1)
+
+    def test_machines_argument_validation(self):
+        with pytest.raises(InvalidParameterError, match="machines"):
+            open_session("fcfs", [])
+
+    def test_empty_session_finalizes_to_empty_outcome(self):
+        session = open_session("fcfs", 2)
+        outcome = session.finalize()
+        assert outcome.objective_value == 0.0
+        assert outcome.result.records == {}
+
+    def test_advance_to_blocks_late_submissions(self):
+        session = open_session("fcfs", 2)
+        session.submit(Job(0, 0.0, (1.0, 1.0)))
+        session.advance_to(10.0)
+        with pytest.raises(SessionStateError, match="non-decreasing"):
+            session.submit(Job(1, 5.0, (1.0, 1.0)))
+
+    def test_stepper_advance_bound_blocks_late_offers(self):
+        # The stepper itself (a public API) enforces the advance_to bound,
+        # not just the last processed event time.
+        engine = FlowTimeEngine(Instance.build(1, []))
+        from repro.baselines.fcfs import FCFSScheduler
+
+        stepper = engine.stepper(FCFSScheduler())
+        stepper.offer(Job(0, 0.0, (1.0,)))
+        stepper.advance_to(10.0)  # declares: no arrival at or before 10
+        with pytest.raises(SimulationError, match="already reached"):
+            stepper.offer(Job(1, 5.0, (1.0,)))
+        stepper.offer(Job(2, 10.0, (1.0,)))  # at the bound is allowed
+
+
+# --------------------------------------------------------------------------------------
+# Engine stepper (the reentrant core under the session)
+# --------------------------------------------------------------------------------------
+
+
+class TestEngineStepper:
+    def _engine(self, machines=1):
+        fleet = Instance.build(machines, [])
+        from repro.baselines.fcfs import FCFSScheduler
+
+        return FlowTimeEngine(fleet), FCFSScheduler()
+
+    def test_step_on_empty_queue_returns_none(self):
+        engine, policy = self._engine()
+        stepper = engine.stepper(policy)
+        assert stepper.step() is None
+        assert stepper.peek_time() is None
+
+    def test_advance_to_respects_time_bound(self):
+        engine, policy = self._engine()
+        stepper = engine.stepper(policy)
+        stepper.offer(Job(0, 0.0, (1.0,)))
+        stepper.offer(Job(1, 10.0, (1.0,)))
+        assert stepper.advance_to(5.0) == 2  # arrival 0 + its completion at 1.0
+        assert stepper.state.time == pytest.approx(1.0)
+        assert stepper.drain() == 2
+        result = stepper.finish()
+        assert len(result.records) == 2
+
+    def test_finish_with_pending_events_raises(self):
+        engine, policy = self._engine()
+        stepper = engine.stepper(policy)
+        stepper.offer(Job(0, 0.0, (1.0,)))
+        with pytest.raises(SimulationError, match="unprocessed"):
+            stepper.finish()
+
+    def test_offer_into_the_past_raises(self):
+        engine, policy = self._engine()
+        stepper = engine.stepper(policy)
+        stepper.offer(Job(0, 0.0, (5.0,)))
+        stepper.advance_to(0.0)
+        assert stepper.state.time == 0.0
+        stepper.drain()  # completion at 5.0
+        with pytest.raises(SimulationError, match="already reached"):
+            stepper.offer(Job(1, 2.0, (1.0,)))
+
+    def test_finished_stepper_is_sealed(self):
+        engine, policy = self._engine()
+        stepper = engine.stepper(policy)
+        stepper.offer(Job(0, 0.0, (1.0,)))
+        stepper.drain()
+        stepper.finish()
+        with pytest.raises(SimulationError, match="finished"):
+            stepper.offer(Job(1, 2.0, (1.0,)))
+        with pytest.raises(SimulationError, match="finished"):
+            stepper.step()
+
+    def test_run_is_equivalent_to_manual_stepping(self):
+        instance = InstanceGenerator(num_machines=2, seed=53).generate(40)
+        from repro.core.flow_time import RejectionFlowTimeScheduler
+
+        batch = FlowTimeEngine(instance).run(RejectionFlowTimeScheduler(epsilon=0.5))
+        engine = FlowTimeEngine(Instance(instance.machines, (), name=instance.name))
+        stepper = engine.stepper(RejectionFlowTimeScheduler(epsilon=0.5))
+        for job in instance.jobs:
+            stepper.offer(job)
+        while stepper.step() is not None:
+            pass
+        manual = stepper.finish(instance)
+        assert manual.records == batch.records
+        assert manual.intervals == batch.intervals
+        assert manual.extras == batch.extras
+
+
+# --------------------------------------------------------------------------------------
+# NDJSON wire format
+# --------------------------------------------------------------------------------------
+
+
+class TestNdjson:
+    def test_parse_job_line(self):
+        job = parse_job_line('{"id": 3, "release": 1.5, "sizes": [2.0, 4.0]}')
+        assert job == Job(3, 1.5, (2.0, 4.0))
+
+    def test_parse_errors(self):
+        with pytest.raises(InvalidParameterError, match="not valid JSON"):
+            parse_job_line("{nope", lineno=7)
+        with pytest.raises(InvalidParameterError, match="JSON object"):
+            parse_job_line("[1, 2]", lineno=2)
+        with pytest.raises(InvalidParameterError, match="malformed job"):
+            parse_job_line('{"id": 1}', lineno=3)
+
+    def test_read_jobs_skips_blank_and_comment_lines(self):
+        import io
+
+        stream = io.StringIO(
+            '\n# header comment\n{"id": 0, "release": 0.0, "sizes": [1.0]}\n\n'
+        )
+        rows = list(read_jobs(stream))
+        assert len(rows) == 1 and rows[0][0] == 3 and rows[0][1].id == 0
+
+    def test_event_line_is_canonical(self):
+        line = event_line(DecisionEvent("dispatch", 1.0, 0, machine=2))
+        assert line == (
+            '{"event":"decision","job_id":0,"kind":"dispatch",'
+            '"machine":2,"reason":null,"speed":null,"time":1.0}'
+        )
+
+
+# --------------------------------------------------------------------------------------
+# Recorded session traces in the campaign artifact store
+# --------------------------------------------------------------------------------------
+
+
+class TestSessionTraceReplay:
+    def test_record_is_cached_and_replayable(self, tmp_path):
+        from repro.campaigns import ArtifactStore, record_session_trace, replay_session_trace
+
+        store = ArtifactStore(tmp_path)
+        instance = InstanceGenerator(num_machines=3, seed=47).generate(60)
+        first = record_session_trace(store, instance, "rejection-flow", epsilon=0.5)
+        second = record_session_trace(store, instance, "rejection-flow", epsilon=0.5)
+        assert not first.cached and second.cached
+        assert first.payload == second.payload
+        assert first.events and first.outcome_row["algorithm"] == "rejection-flow"
+        replayed = replay_session_trace(store, first.key)
+        assert replayed.payload == first.payload
+
+    def test_key_depends_on_configuration(self, tmp_path):
+        from repro.campaigns import ArtifactStore, record_session_trace
+
+        store = ArtifactStore(tmp_path)
+        instance = InstanceGenerator(num_machines=2, seed=51).generate(30)
+        a = record_session_trace(store, instance, "rejection-flow", epsilon=0.5)
+        b = record_session_trace(store, instance, "rejection-flow", epsilon=0.3)
+        c = record_session_trace(store, instance, "fcfs")
+        assert len({a.key, b.key, c.key}) == 3
+        assert len(store) == 3
+
+    def test_artifact_bytes_stable_across_dispatch_modes(self, tmp_path):
+        from repro.campaigns import ArtifactStore, record_session_trace
+
+        instance = InstanceGenerator(num_machines=3, seed=57).generate(80)
+        payloads = {}
+        for mode in ("indexed", "scan"):
+            store = ArtifactStore(tmp_path / mode)
+            trace = record_session_trace(
+                store, instance, "rejection-flow", dispatch=mode, epsilon=0.5
+            )
+            payloads[mode] = {k: v for k, v in trace.payload.items() if k != "dispatch"}
+        assert payloads["indexed"] == payloads["scan"]
+
+    def test_tampered_trace_fails_replay(self, tmp_path):
+        from repro.campaigns import ArtifactStore, record_session_trace, replay_session_trace
+
+        store = ArtifactStore(tmp_path)
+        instance = InstanceGenerator(num_machines=2, seed=61).generate(20)
+        trace = record_session_trace(store, instance, "fcfs")
+        tampered = dict(trace.payload)
+        tampered["events"] = list(tampered["events"])
+        tampered["events"][0] = {**tampered["events"][0], "time": -1.0}
+        store.save(trace.key, tampered)
+        with pytest.raises(InvalidParameterError, match="diverged"):
+            replay_session_trace(store, trace.key)

@@ -86,6 +86,79 @@ class TestRegistry:
                        description="", runner=lambda instance: None)
 
 
+class TestRegistryLifecycle:
+    def _ad_hoc_spec(self, algorithm_id="test-lifecycle-solver"):
+        from repro.baselines.fcfs import FCFSScheduler
+
+        return SolverSpec(
+            algorithm_id=algorithm_id,
+            model="fixed-speed",
+            objective="total-flow-time",
+            description="ad-hoc spec for lifecycle tests",
+            factory=FCFSScheduler,
+        )
+
+    def test_unregister_unknown_id_is_noop_false(self):
+        assert unregister_solver("never-was-registered") is False
+
+    def test_unregister_removes_and_reports_true(self):
+        spec = self._ad_hoc_spec()
+        register_solver(spec)
+        try:
+            assert unregister_solver(spec.algorithm_id) is True
+        finally:
+            unregister_solver(spec.algorithm_id)
+        with pytest.raises(UnknownAlgorithmError):
+            get_solver(spec.algorithm_id)
+        # a second unregister of the now-absent id stays a no-op
+        assert unregister_solver(spec.algorithm_id) is False
+
+    def test_reregistration_after_unregister_succeeds(self):
+        spec = self._ad_hoc_spec()
+        register_solver(spec)
+        unregister_solver(spec.algorithm_id)
+        try:
+            assert register_solver(spec) is spec
+            assert get_solver(spec.algorithm_id) is spec
+        finally:
+            unregister_solver(spec.algorithm_id)
+
+    def test_reregistration_of_live_id_rejected(self):
+        spec = self._ad_hoc_spec()
+        register_solver(spec)
+        try:
+            with pytest.raises(InvalidParameterError, match="already registered"):
+                register_solver(self._ad_hoc_spec())
+        finally:
+            unregister_solver(spec.algorithm_id)
+
+    def test_get_solver_error_lists_available_algorithms(self):
+        with pytest.raises(UnknownAlgorithmError) as excinfo:
+            get_solver("no-such-algorithm")
+        message = str(excinfo.value)
+        assert "no-such-algorithm" in message
+        for algorithm_id in ("rejection-flow", "fcfs", "yds"):
+            assert algorithm_id in message
+
+    def test_streaming_requires_factory(self):
+        with pytest.raises(InvalidParameterError, match="supports_streaming"):
+            SolverSpec(
+                algorithm_id="bad-streaming",
+                model="reference",
+                objective="energy",
+                description="",
+                supports_streaming=True,
+                runner=lambda instance: None,
+            )
+
+    def test_streaming_metadata_in_rows(self):
+        rows = {row["algorithm"]: row for row in list_algorithms()}
+        assert rows["rejection-flow"]["supports_streaming"] is True
+        assert rows["fcfs"]["supports_streaming"] is True
+        assert rows["yds"]["supports_streaming"] is False
+        assert rows["speed-augmentation"]["supports_streaming"] is False
+
+
 class TestParamValidation:
     def test_unknown_param(self, instance):
         with pytest.raises(InvalidParameterError, match="unknown parameter"):

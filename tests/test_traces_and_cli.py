@@ -121,3 +121,121 @@ class TestCLI:
         code, text = self._run(["experiments", "--only", "E5"])
         assert code == 0
         assert "Lemma 2" in text
+
+
+class TestSolveJsonOutput:
+    def _run(self, argv):
+        out = io.StringIO()
+        code = main(argv, out=out)
+        return code, out.getvalue()
+
+    def test_json_flag_emits_canonical_row(self):
+        import json
+
+        argv = ["solve", "--algorithm", "rejection-flow", "--param", "epsilon=0.5",
+                "--jobs", "25", "--machines", "2", "--json"]
+        code, text = self._run(argv)
+        assert code == 0
+        row = json.loads(text)
+        assert row["algorithm"] == "rejection-flow"
+        assert row["objective"] == "total-flow-time"
+        assert row["objective_value"] > 0
+        assert "breakdown_flow_time" in row
+        # the human-readable table is suppressed
+        assert "instance      :" not in text
+
+    def test_json_output_is_byte_stable(self):
+        argv = ["solve", "--algorithm", "fcfs", "--jobs", "20", "--machines", "2",
+                "--seed", "5", "--json"]
+        (code1, text1), (code2, text2) = self._run(argv), self._run(argv)
+        assert code1 == code2 == 0
+        assert text1 == text2
+
+
+class TestServeCommand:
+    def _run(self, argv):
+        out = io.StringIO()
+        code = main(argv, out=out)
+        return code, out.getvalue()
+
+    def _trace_file(self, tmp_path, num_jobs=10, machines=2, seed=1):
+        import json
+
+        instance = InstanceGenerator(num_machines=machines, seed=seed).generate(num_jobs)
+        path = tmp_path / "jobs.ndjson"
+        path.write_text(
+            "# recorded workload\n"
+            + "\n".join(json.dumps(job.to_dict()) for job in instance.jobs)
+            + "\n",
+            encoding="utf-8",
+        )
+        return instance, path
+
+    def test_serve_trace_file_emits_events_and_summary(self, tmp_path):
+        import json
+
+        instance, path = self._trace_file(tmp_path)
+        code, text = self._run(
+            ["serve", "--algorithm", "rejection-flow", "--machines", "2",
+             "--param", "epsilon=0.5", "--trace", str(path)]
+        )
+        assert code == 0
+        lines = [json.loads(line) for line in text.splitlines()]
+        kinds = [line["event"] for line in lines]
+        assert kinds[-1] == "final" and kinds.count("final") == 1
+        decisions = [line for line in lines if line["event"] == "decision"]
+        assert {d["kind"] for d in decisions} <= {"dispatch", "start", "complete", "reject"}
+        # every job shows up in the decision stream
+        assert {d["job_id"] for d in decisions} == {job.id for job in instance.jobs}
+
+    def test_serve_final_line_matches_batch_solve(self, tmp_path):
+        import json
+
+        from repro.solvers import solve
+
+        instance, path = self._trace_file(tmp_path, num_jobs=15, seed=3)
+        code, text = self._run(
+            ["serve", "--machines", "2", "--param", "epsilon=0.5",
+             "--trace", str(path), "--quiet"]
+        )
+        assert code == 0
+        (final,) = [json.loads(line) for line in text.splitlines()]
+        batch = solve(instance, "rejection-flow", epsilon=0.5)
+        assert final["objective_value"] == batch.objective_value
+        assert final["rejected_count"] == batch.rejected_count
+
+    def test_serve_reads_stdin(self, tmp_path, monkeypatch):
+        import json
+        import sys
+
+        _, path = self._trace_file(tmp_path, num_jobs=5)
+        monkeypatch.setattr(sys, "stdin", io.StringIO(path.read_text(encoding="utf-8")))
+        code, text = self._run(["serve", "--machines", "2", "--quiet"])
+        assert code == 0
+        assert json.loads(text.splitlines()[-1])["event"] == "final"
+
+    def test_serve_non_streaming_algorithm_exits_2(self, tmp_path):
+        _, path = self._trace_file(tmp_path, num_jobs=3)
+        err = io.StringIO()
+        code = main(["serve", "--algorithm", "yds", "--trace", str(path)],
+                    out=io.StringIO(), err=err)
+        assert code == 2
+        assert "streaming" in err.getvalue()
+
+    def test_serve_malformed_line_exits_2(self, tmp_path):
+        path = tmp_path / "bad.ndjson"
+        path.write_text('{"id": 0}\n', encoding="utf-8")
+        err = io.StringIO()
+        code = main(["serve", "--machines", "2", "--trace", str(path)],
+                    out=io.StringIO(), err=err)
+        assert code == 2
+        assert "malformed job" in err.getvalue()
+
+    def test_serve_reserved_param_exits_2(self, tmp_path):
+        _, path = self._trace_file(tmp_path, num_jobs=3)
+        for raw in ("alpha=2", "retain_events=true", "dispatch=scan"):
+            err = io.StringIO()
+            code = main(["serve", "--machines", "2", "--param", raw,
+                         "--trace", str(path)], out=io.StringIO(), err=err)
+            assert code == 2
+            assert "--param cannot set" in err.getvalue()
