@@ -1,0 +1,107 @@
+"""Cumulative benchmark trajectory: append each CI run's artifacts as NDJSON.
+
+The per-run ``BENCH_<slug>.json`` artifacts are snapshots; this module turns
+them into a *trajectory* — one canonical-JSON line per (run × benchmark)
+appended to a single NDJSON file that CI persists across runs (cache-restored,
+re-uploaded as the ``bench-trajectory`` artifact).  Each line carries the
+commit, the run identifier and the measurement fields that matter for
+plotting throughput over time::
+
+    {"bench": "e1_flow_time", "commit": "abc123", "events_per_sec": ...,
+     "fingerprint": ..., "median_s": ..., "n_jobs": ..., "run": "57"}
+
+Append-only and idempotent per run: re-appending the same artifacts with the
+same ``--run`` adds duplicate lines, so CI invokes it exactly once per run.
+
+Usage (what the CI ``bench`` job runs)::
+
+    python -m benchmarks.trajectory --artifacts bench-artifacts \
+        --out bench-trajectory/trajectory.ndjson \
+        --commit "$GITHUB_SHA" --run "$GITHUB_RUN_NUMBER"
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.benchmarking import ARTIFACT_PREFIX
+from repro.utils.serialization import canonical_json
+
+#: Measurement fields copied from each artifact into its trajectory line.
+FIELDS = ("bench", "n_jobs", "median_s", "events_per_sec", "fingerprint",
+          "peak_rss_bytes")
+
+
+def trajectory_line(artifact: dict, commit: str = "", run: str = "") -> str:
+    """One canonical-JSON trajectory line for a ``BENCH_*.json`` payload."""
+    row = {field: artifact.get(field) for field in FIELDS}
+    row["commit"] = commit
+    row["run"] = run
+    return canonical_json(row)
+
+
+def append_run(
+    trajectory_path: "str | Path",
+    artifact_dir: "str | Path",
+    commit: str = "",
+    run: str = "",
+) -> int:
+    """Append every artifact in ``artifact_dir`` to the trajectory file.
+
+    Creates the file (and parents) on first use; returns the number of lines
+    appended.  Artifacts are appended in sorted filename order so the output
+    is deterministic for a given artifact set.
+    """
+    artifact_dir = Path(artifact_dir)
+    paths = sorted(artifact_dir.glob(f"{ARTIFACT_PREFIX}*.json"))
+    if not paths:
+        raise FileNotFoundError(
+            f"no {ARTIFACT_PREFIX}*.json artifacts in {artifact_dir}"
+        )
+    trajectory_path = Path(trajectory_path)
+    trajectory_path.parent.mkdir(parents=True, exist_ok=True)
+    with trajectory_path.open("a", encoding="utf-8") as stream:
+        for path in paths:
+            artifact = json.loads(path.read_text(encoding="utf-8"))
+            stream.write(trajectory_line(artifact, commit=commit, run=run) + "\n")
+    return len(paths)
+
+
+def read_trajectory(trajectory_path: "str | Path") -> list[dict]:
+    """Parse a trajectory file back into its rows (skips blank lines)."""
+    rows = []
+    for line in Path(trajectory_path).read_text(encoding="utf-8").splitlines():
+        if line.strip():
+            rows.append(json.loads(line))
+    return rows
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="benchmarks.trajectory",
+        description="append BENCH_*.json artifacts to a cumulative NDJSON trajectory",
+    )
+    parser.add_argument("--artifacts", default="bench-artifacts",
+                        help="directory holding this run's BENCH_*.json files")
+    parser.add_argument("--out", default="bench-trajectory/trajectory.ndjson",
+                        help="trajectory NDJSON file to append to")
+    parser.add_argument("--commit", default="", help="commit SHA recorded per line")
+    parser.add_argument("--run", default="", help="run identifier recorded per line")
+    args = parser.parse_args(argv)
+    try:
+        count = append_run(args.out, args.artifacts, commit=args.commit, run=args.run)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    total = len(read_trajectory(args.out))
+    print(f"appended {count} benchmark(s) to {args.out} ({total} lines total)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -19,10 +19,11 @@ contains:
   canonical-JSON snapshots and finalizes into the same
   :class:`~repro.solvers.outcome.SolveOutcome` as the batch facade;
 * :mod:`repro.lowerbounds` — certified lower bounds on the offline optimum;
-* :mod:`repro.workloads` — synthetic workload generators, including the
-  adversarial constructions of Lemma 1 and Lemma 2;
+* :mod:`repro.workloads` — synthetic workload generators, the adversarial
+  constructions of Lemma 1 and Lemma 2, trace ingestion/export with
+  deterministic transforms and the named heavy-traffic scenario catalog;
 * :mod:`repro.analysis` — competitive-ratio estimation and report tables;
-* :mod:`repro.experiments` — the experiment suite (E1-E10) that plays the
+* :mod:`repro.experiments` — the experiment suite (E1-E14) that plays the
   role of the paper's tables and figures.
 
 Quickstart

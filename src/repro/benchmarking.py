@@ -305,6 +305,37 @@ def _bench_session_ingest(scale: float) -> BenchCase:
     )
 
 
+def _bench_e14_robustness(scale: float) -> BenchCase:
+    """Trace-driven scenario ingestion: a multi-tenant trace through a session.
+
+    The E14 hot path — scenario chunks bulk-submitted to a streaming session
+    (``submit_many`` per chunk, finalize once).  Chunk generation happens
+    outside the timed run, so the gate tracks the ingestion + scheduling
+    path the robustness sweep and ``repro serve --trace`` exercise.
+    """
+    from repro.service import open_session
+    from repro.workloads.scenarios import get_scenario
+
+    machines = 8
+    n = _scaled(8_000, scale)
+    scenario = get_scenario("multi-tenant-mix")
+    chunks = list(scenario.job_chunks(n, num_machines=machines, seed=2018))
+
+    def run() -> int:
+        session = open_session(
+            "rejection-flow", machines, epsilon=0.5, retain_events=False
+        )
+        for chunk in chunks:
+            session.submit_many(chunk)
+        outcome = session.finalize()
+        return outcome.result.extras["events"]
+
+    recipe = {"workload": "scenario:multi-tenant-mix", "machines": machines,
+              "seed": 2018, "n": n, "algorithm": "rejection-flow(eps=0.5)",
+              "path": "session-chunk-ingest"}
+    return BenchCase(n_jobs=n, fingerprint=_fingerprint(recipe), run=run, meta=recipe)
+
+
 #: The benchmark registry, in reporting order.
 SPECS: dict[str, BenchSpec] = {
     spec.slug: spec
@@ -325,6 +356,8 @@ SPECS: dict[str, BenchSpec] = {
                   _bench_solver_facade),
         BenchSpec("e13_session", "streaming-session ingestion, poll per submit (n=10k)",
                   _bench_session_ingest),
+        BenchSpec("e14_robustness", "multi-tenant scenario trace through a session (n=8k)",
+                  _bench_e14_robustness),
         BenchSpec("frontier_100k", "FCFS over a 100k-job instance (full runs only)",
                   _bench_frontier_100k, quick=False),
     )

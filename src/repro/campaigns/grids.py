@@ -16,12 +16,14 @@ the same way they compare experiment configurations.
 Shipped grids:
 
 * ``smoke``   — E1 only, one seed; used by the test suite;
-* ``small``   — all of E1–E10 at miniature sweep sizes, two seeds; finishes
-  in well under a minute and is the acceptance grid for ``repro campaign run``;
+* ``small``   — all of E1–E10 + E12/E14 at miniature sweep sizes, two seeds;
+  finishes in well under a minute, the acceptance grid for ``repro campaign run``;
 * ``medium``  — the experiments' default sweep sizes, three seeds; the
   campaign analogue of the benchmark harness;
 * ``solvers`` — the algorithm axis: one task per registered flow-time
-  algorithm, two seeds each, aggregated into per-algorithm report rows.
+  algorithm, two seeds each, aggregated into per-algorithm report rows;
+* ``e14``     — the robustness frontier on its own: every catalog scenario ×
+  every streaming solver, two seeds (the nightly byte-stability sweep).
 """
 
 from __future__ import annotations
@@ -143,6 +145,11 @@ _SMALL_OVERRIDES: dict[str, dict[str, Any]] = {
     "E9": {"workloads": ("lemma1-L16",), "epsilon": 0.25},
     "E10": {"algorithms": ("rejection-flow", "greedy"), "num_jobs": 40},
     "E12": {"job_counts": (1_000, 4_000), "algorithms": ("rejection-flow", "greedy")},
+    "E14": {
+        "scenarios": ("heavy-tail-pareto", "flash-crowd", "multi-tenant-mix"),
+        "algorithms": ("rejection-flow", "greedy", "fcfs"),
+        "num_jobs": 60,
+    },
 }
 
 #: Sweep-size caps for the ``medium`` grid where the experiment's defaults
@@ -170,7 +177,7 @@ GRIDS: dict[str, CampaignGrid] = {
         ),
         _grid(
             "small",
-            "all experiments E1-E10 + E12 at miniature scale, two seeds each",
+            "all experiments E1-E10 + E12/E14 at miniature scale, two seeds each",
             [
                 GridEntry.create(exp_id, overrides=overrides, num_seeds=2)
                 for exp_id, overrides in _SMALL_OVERRIDES.items()
@@ -178,7 +185,7 @@ GRIDS: dict[str, CampaignGrid] = {
         ),
         _grid(
             "medium",
-            "all experiments E1-E10 + E12 at their default sweep sizes, three seeds each",
+            "all experiments E1-E10 + E12/E14 at their default sweep sizes, three seeds each",
             [
                 GridEntry.create(
                     exp_id, overrides=_MEDIUM_OVERRIDES.get(exp_id), num_seeds=3
@@ -190,6 +197,11 @@ GRIDS: dict[str, CampaignGrid] = {
             "solvers",
             "algorithm axis: every flow-time solver via repro.solve(), two seeds each",
             algorithm_axis(_SOLVER_AXIS, base_overrides={"num_jobs": 60}, num_seeds=2),
+        ),
+        _grid(
+            "e14",
+            "E14 robustness frontier: all scenarios x all streaming solvers, two seeds",
+            [GridEntry.create("E14", overrides={"num_jobs": 150}, num_seeds=2)],
         ),
     )
 }

@@ -1,11 +1,12 @@
 """Command-line interface.
 
-Six subcommands cover the common workflows::
+Seven subcommands cover the common workflows::
 
     python -m repro experiments --only E1 E2 --scale small
     python -m repro simulate --jobs 200 --machines 4 --epsilon 0.5 --policy theorem1 --gantt
     python -m repro solve --algorithm rejection-flow --param epsilon=0.5 --jobs 200
     python -m repro serve --algorithm rejection-flow --machines 4 < jobs.ndjson
+    python -m repro trace generate --scenario flash-crowd --jobs 1000 --out crowd.ndjson
     python -m repro bounds --epsilon 0.25 --alpha 3
     python -m repro campaign run --grid small --workers 4
 
@@ -17,9 +18,13 @@ Six subcommands cover the common workflows::
   registry (``--list-algorithms`` enumerates them with their capability
   metadata; ``--param name=value`` passes schema-validated parameters;
   ``--json`` emits the outcome row as canonical JSON for scripted callers).
-* ``serve`` runs a streaming scheduler session: newline-delimited job JSON in
-  (stdin or ``--trace FILE``), decision-event lines out as jobs arrive, and a
-  final summary line when the stream ends.
+* ``serve`` runs a streaming scheduler session: job rows in (stdin or
+  ``--trace FILE``, NDJSON or CSV via ``--trace-format``), decision-event
+  lines out as jobs arrive, and a final summary line when the stream ends.
+* ``trace`` works with job traces: ``inspect`` (streamed statistics),
+  ``convert`` (NDJSON <-> CSV plus deterministic transforms: load scaling,
+  time warping, truncation, sharding), ``generate`` (export a catalog
+  scenario as a trace file) and ``scenarios`` (list the catalog).
 * ``bounds`` prints the paper's closed-form guarantees for given parameters.
 * ``campaign`` runs (experiment × variant × seed) grids in parallel against a
   cached artifact store and aggregates the results (``run``/``list``/``report``).
@@ -123,12 +128,67 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--trace", default=None, metavar="FILE",
                        help="read job lines from FILE instead of stdin ('-' = stdin)")
+    serve.add_argument("--trace-format", default="auto",
+                       choices=("auto", "ndjson", "csv"),
+                       help="trace format (auto = by file extension; stdin defaults "
+                            "to ndjson)")
     serve.add_argument("--dispatch", default=None, choices=("indexed", "scan"),
                        help="engine dispatch mode (default: indexed, env REPRO_DISPATCH)")
     serve.add_argument("--name", default=None,
                        help="session label (used for the assembled instance and result)")
     serve.add_argument("--quiet", action="store_true",
                        help="suppress per-decision event lines (only the final summary)")
+
+    trace = subparsers.add_parser(
+        "trace", help="inspect, convert and generate job traces (NDJSON / CSV)"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    def _format_arg(sub: argparse.ArgumentParser, flag: str = "--format") -> None:
+        sub.add_argument(flag, default="auto", choices=("auto", "ndjson", "csv"),
+                         help="trace format (auto = by file extension)")
+
+    trace_inspect = trace_sub.add_parser(
+        "inspect", help="stream a trace and print its aggregate statistics"
+    )
+    trace_inspect.add_argument("file", help="trace file to inspect")
+    _format_arg(trace_inspect)
+    trace_inspect.add_argument("--json", action="store_true",
+                               help="print the statistics as canonical JSON")
+
+    trace_convert = trace_sub.add_parser(
+        "convert", help="convert between formats, optionally applying transforms"
+    )
+    trace_convert.add_argument("input", help="source trace file")
+    trace_convert.add_argument("output", help="destination trace file")
+    _format_arg(trace_convert, "--from-format")
+    _format_arg(trace_convert, "--to-format")
+    trace_convert.add_argument("--load-scale", type=float, default=None, metavar="F",
+                               help="multiply every processing size by F")
+    trace_convert.add_argument("--time-warp", type=float, default=None, metavar="F",
+                               help="multiply every release/deadline by F "
+                                    "(F < 1 raises the arrival rate)")
+    trace_convert.add_argument("--max-jobs", type=int, default=None, metavar="N",
+                               help="keep only the first N jobs")
+    trace_convert.add_argument("--max-time", type=float, default=None, metavar="T",
+                               help="drop jobs released after T")
+    trace_convert.add_argument("--shard", default=None, metavar="I/K",
+                               help="keep shard I of K (every K-th job starting at I; "
+                                    "renumbers ids)")
+
+    trace_generate = trace_sub.add_parser(
+        "generate", help="export a catalog scenario as a trace file"
+    )
+    trace_generate.add_argument("--scenario", required=True,
+                                help="scenario name (see `repro trace scenarios`)")
+    trace_generate.add_argument("--jobs", type=int, default=1000)
+    trace_generate.add_argument("--machines", type=int, default=4)
+    trace_generate.add_argument("--seed", type=int, default=2018)
+    trace_generate.add_argument("--out", required=True, metavar="FILE",
+                                help="destination trace file")
+    _format_arg(trace_generate)
+
+    trace_sub.add_parser("scenarios", help="list the heavy-traffic scenario catalog")
 
     bounds = subparsers.add_parser("bounds", help="print the paper's closed-form guarantees")
     bounds.add_argument("--epsilon", type=float, default=0.5)
@@ -296,10 +356,9 @@ def _cmd_solve(args: argparse.Namespace, out) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace, out) -> int:
-    import contextlib
-
     from repro.service import open_session
-    from repro.service.ndjson import event_line, final_line, read_jobs
+    from repro.service.ndjson import event_line, final_line
+    from repro.workloads.traces import read_trace_jobs
 
     params = dict(_parse_param(raw) for raw in args.param)
     reserved = {
@@ -324,30 +383,78 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
         **params,
     )
 
-    if args.trace and args.trace != "-":
-        try:
-            stream_cm = open(args.trace, "r", encoding="utf-8")
-        except OSError as exc:
-            raise ReproError(f"cannot open trace file {args.trace!r}: {exc}") from exc
-    else:
-        stream_cm = contextlib.nullcontext(sys.stdin)
-    with stream_cm as stream:
-        for _, job in read_jobs(stream):
-            session.submit(job)
-            events = session.poll()
-            if events and not args.quiet:
-                for event in events:
-                    print(event_line(event), file=out)
-                # Flush per poll batch: with a piped stdout the stream would
-                # otherwise sit in the block buffer until EOF, defeating the
-                # "decisions out as jobs arrive" contract for live feeds.
-                out.flush()
+    fmt = None if args.trace_format == "auto" else args.trace_format
+    source = args.trace if args.trace and args.trace != "-" else sys.stdin
+    for _, job in read_trace_jobs(source, fmt):
+        session.submit(job)
+        events = session.poll()
+        if events and not args.quiet:
+            for event in events:
+                print(event_line(event), file=out)
+            # Flush per poll batch: with a piped stdout the stream would
+            # otherwise sit in the block buffer until EOF, defeating the
+            # "decisions out as jobs arrive" contract for live feeds.
+            out.flush()
     outcome = session.finalize()
     for event in session.take_events():
         if not args.quiet:
             print(event_line(event), file=out)
     print(final_line(outcome.as_row()), file=out)
     out.flush()
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace, out) -> int:
+    from repro.workloads import traces
+    from repro.workloads.scenarios import available_scenarios, get_scenario
+
+    if args.trace_command == "scenarios":
+        for name, description in available_scenarios().items():
+            print(f"{name}: {description}", file=out)
+        return 0
+
+    if args.trace_command == "inspect":
+        fmt = None if args.format == "auto" else args.format
+        stats = traces.trace_stats(traces.read_trace_chunks(args.file, fmt))
+        if args.json:
+            print(canonical_json(stats.as_row()), file=out)
+            return 0
+        for key, value in stats.as_row().items():
+            print(f"{key:15s}: {value}", file=out)
+        return 0
+
+    if args.trace_command == "generate":
+        scenario = get_scenario(args.scenario)
+        fmt = None if args.format == "auto" else args.format
+        count = traces.write_trace(
+            scenario.job_chunks(args.jobs, args.machines, seed=args.seed),
+            args.out,
+            fmt,
+        )
+        print(f"wrote {count} jobs of scenario {scenario.name!r} to {args.out}", file=out)
+        return 0
+
+    # convert
+    from_fmt = None if args.from_format == "auto" else args.from_format
+    to_fmt = None if args.to_format == "auto" else args.to_format
+    chunks = traces.read_trace_chunks(args.input, from_fmt)
+    if args.load_scale is not None:
+        chunks = traces.scale_load(chunks, args.load_scale)
+    if args.time_warp is not None:
+        chunks = traces.time_warp(chunks, args.time_warp)
+    if args.max_jobs is not None or args.max_time is not None:
+        chunks = traces.truncate(chunks, max_jobs=args.max_jobs, max_time=args.max_time)
+    if args.shard is not None:
+        index, sep, total = args.shard.partition("/")
+        try:
+            index, total = int(index), int(total)
+        except ValueError:
+            sep = ""
+        if not sep:
+            raise ReproError(f"--shard expects I/K (e.g. 0/4), got {args.shard!r}")
+        chunks = traces.shard(chunks, total, index)
+    count = traces.write_trace(chunks, args.output, to_fmt)
+    print(f"wrote {count} jobs to {args.output}", file=out)
     return 0
 
 
@@ -459,6 +566,8 @@ def main(argv: list[str] | None = None, out=None, err=None) -> int:
             return _cmd_solve(args, out)
         if args.command == "serve":
             return _cmd_serve(args, out)
+        if args.command == "trace":
+            return _cmd_trace(args, out)
         if args.command == "campaign":
             return _cmd_campaign(args, out)
         return _cmd_bounds(args, out)

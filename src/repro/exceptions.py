@@ -92,6 +92,29 @@ class StreamingNotSupportedError(InvalidParameterError):
     """
 
 
+class TraceSchemaError(InvalidParameterError):
+    """A trace row (NDJSON or CSV) violates the wire schema.
+
+    Raised by the trace readers in :mod:`repro.workloads.traces` and the
+    NDJSON helpers in :mod:`repro.service.ndjson` with the 1-based line
+    number and, where attributable, the offending field — so ``repro serve``
+    and ``repro trace`` report *which* row and *which* column broke instead
+    of a raw traceback.  The CLI maps it (like every :class:`ReproError`)
+    to exit code 2.
+    """
+
+    def __init__(self, message: str, *, lineno: "int | None" = None,
+                 field: "str | None" = None):
+        prefix = ""
+        if lineno is not None:
+            prefix += f"line {lineno}: "
+        if field is not None:
+            prefix += f"field {field!r}: "
+        super().__init__(prefix + message)
+        self.lineno = lineno
+        self.field = field
+
+
 class SessionStateError(ReproError):
     """A :class:`~repro.service.session.SchedulerSession` was used out of order.
 

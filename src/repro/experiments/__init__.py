@@ -1,10 +1,12 @@
-"""The experiment suite (E1-E10).
+"""The experiment suite (E1-E14).
 
 The paper proves guarantees instead of reporting measurements, so these
 experiments are the reproduction's counterpart of a systems paper's tables
 and figures: each of E1-E9 empirically verifies one theorem or lemma (see
-DESIGN.md section 3 for the index), and E10 sweeps algorithms through the
-unified solver registry.  Every experiment module exposes
+DESIGN.md section 3 for the index), E10 sweeps algorithms through the
+unified solver registry, E12 maps the scalability frontier and E14 sweeps
+every streaming solver across the heavy-traffic scenario catalog.  Every
+experiment module exposes
 
 * a ``*Config`` dataclass with the sweep parameters, and
 * ``run(config) -> ExperimentResult``,

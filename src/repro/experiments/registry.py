@@ -132,6 +132,12 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
             "ScalabilityFrontierConfig",
             "Scalability frontier: chunked generators + indexed dispatch up to 100k jobs",
         ),
+        ExperimentSpec(
+            "E14",
+            "repro.experiments.exp_robustness",
+            "RobustnessConfig",
+            "Robustness frontier: streaming solvers across the heavy-traffic scenario catalog",
+        ),
     )
 }
 

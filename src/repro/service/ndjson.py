@@ -11,6 +11,12 @@ through canonical JSON so identical streams are byte-identical):
   ``{"event": "decision", "kind": "dispatch", "time": ..., "job_id": ...,
   "machine": ..., "speed": ..., "reason": ...}``;
 * a final **summary line**: ``{"event": "final", ...SolveOutcome.as_row()}``.
+
+The job-line schema is shared with the trace subsystem: parsing delegates to
+:func:`repro.workloads.traces.parse_job_row`, so a malformed row raises a
+:class:`~repro.exceptions.TraceSchemaError` naming the 1-based line number
+and the offending field (the CLI maps it to exit code 2) instead of leaking
+a raw traceback.
 """
 
 from __future__ import annotations
@@ -18,10 +24,11 @@ from __future__ import annotations
 import json
 from typing import Iterator, TextIO
 
-from repro.exceptions import InvalidParameterError
+from repro.exceptions import TraceSchemaError
 from repro.simulation.job import Job
 from repro.simulation.stepper import DecisionEvent
 from repro.utils.serialization import canonical_json
+from repro.workloads.traces import iter_ndjson_jobs, parse_job_row
 
 __all__ = ["read_jobs", "parse_job_line", "event_line", "final_line"]
 
@@ -31,24 +38,13 @@ def parse_job_line(line: str, lineno: int = 0) -> Job:
     try:
         data = json.loads(line)
     except json.JSONDecodeError as exc:
-        raise InvalidParameterError(f"line {lineno}: not valid JSON ({exc})") from exc
-    if not isinstance(data, dict):
-        raise InvalidParameterError(
-            f"line {lineno}: expected a JSON object, got {type(data).__name__}"
-        )
-    try:
-        return Job.from_dict(data)
-    except (KeyError, TypeError, ValueError) as exc:
-        raise InvalidParameterError(f"line {lineno}: malformed job ({exc})") from exc
+        raise TraceSchemaError(f"not valid JSON ({exc})", lineno=lineno) from exc
+    return parse_job_row(data, lineno)
 
 
 def read_jobs(stream: TextIO) -> Iterator[tuple[int, Job]]:
     """Yield ``(lineno, Job)`` for every non-empty, non-comment line."""
-    for lineno, raw in enumerate(stream, start=1):
-        line = raw.strip()
-        if not line or line.startswith("#"):
-            continue
-        yield lineno, parse_job_line(line, lineno)
+    return iter_ndjson_jobs(stream)
 
 
 def event_line(event: DecisionEvent) -> str:

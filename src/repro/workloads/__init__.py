@@ -11,7 +11,10 @@ exercise the regimes its theory speaks about:
   adaptive adversary against deterministic energy minimisation
   (:mod:`repro.workloads.adversarial`);
 * the named parameter sweeps the experiments/benchmarks iterate over
-  (:mod:`repro.workloads.suites`).
+  (:mod:`repro.workloads.suites`);
+* trace ingestion/export and deterministic trace transforms
+  (:mod:`repro.workloads.traces`) plus the named heavy-traffic scenario
+  catalog built on them (:mod:`repro.workloads.scenarios`).
 """
 
 from repro.workloads.arrival_processes import (
@@ -39,7 +42,20 @@ from repro.workloads.adversarial import (
     overload_burst_instance,
     Lemma2Adversary,
 )
-from repro.workloads.suites import WorkloadSuite, standard_suites
+from repro.workloads.suites import WorkloadSuite, standard_suites, validate_unique_suites
+from repro.workloads.traces import (
+    TraceStats,
+    read_trace_chunks,
+    read_trace_jobs,
+    trace_instance,
+    trace_stats,
+    write_trace,
+)
+from repro.workloads.scenarios import (
+    Scenario,
+    available_scenarios,
+    get_scenario,
+)
 
 __all__ = [
     "poisson_arrivals",
@@ -63,4 +79,14 @@ __all__ = [
     "Lemma2Adversary",
     "WorkloadSuite",
     "standard_suites",
+    "validate_unique_suites",
+    "TraceStats",
+    "read_trace_chunks",
+    "read_trace_jobs",
+    "trace_instance",
+    "trace_stats",
+    "write_trace",
+    "Scenario",
+    "available_scenarios",
+    "get_scenario",
 ]

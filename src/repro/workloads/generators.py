@@ -55,10 +55,11 @@ _STREAMS = ("arrivals", "sizes", "matrix", "matrix_fixup", "weights", "deadlines
 class JobChunk:
     """A contiguous block of generated jobs as numpy columns.
 
-    Job ids are ``start .. start + len(chunk) - 1``; ``sizes`` has one row
-    per job and one column per machine (``inf`` marks forbidden pairs);
-    ``weights``/``deadlines`` are ``None`` for generators without those
-    attributes.
+    Job ids are ``start .. start + len(chunk) - 1`` unless an explicit
+    ``ids`` column is given (trace-ingested chunks keep the ids of the
+    source trace); ``sizes`` has one row per job and one column per machine
+    (``inf`` marks forbidden pairs); ``weights``/``deadlines`` are ``None``
+    for generators without those attributes.
     """
 
     start: int
@@ -66,6 +67,7 @@ class JobChunk:
     sizes: np.ndarray
     weights: np.ndarray | None = None
     deadlines: np.ndarray | None = None
+    ids: np.ndarray | None = None
 
     def __len__(self) -> int:
         return len(self.releases)
@@ -92,6 +94,19 @@ class JobChunk:
             raise InvalidInstanceError("chunk weights must be positive and finite")
         if self.deadlines is not None and not (self.deadlines > releases).all():
             raise InvalidInstanceError("chunk deadlines must exceed releases")
+        if self.ids is not None:
+            if len(self.ids) != len(self.releases):
+                raise InvalidInstanceError("chunk ids/releases length mismatch")
+            if (self.ids < 0).any():
+                raise InvalidInstanceError("chunk ids must be non-negative")
+            if len(np.unique(self.ids)) != len(self.ids):
+                raise InvalidInstanceError("chunk ids must be unique")
+
+    def job_ids(self) -> np.ndarray:
+        """The id column (explicit ``ids`` or the contiguous default)."""
+        if self.ids is not None:
+            return self.ids
+        return np.arange(self.start, self.start + len(self), dtype=np.int64)
 
     def jobs(self) -> list[Job]:
         """Materialise the chunk as :class:`Job` rows (trusted construction)."""
@@ -99,11 +114,12 @@ class JobChunk:
         rows = self.sizes.tolist()
         weights = self.weights.tolist() if self.weights is not None else None
         deadlines = self.deadlines.tolist() if self.deadlines is not None else None
+        ids = None if self.ids is None else self.ids.tolist()
         start = self.start
         trusted = Job.trusted
         return [
             trusted(
-                start + k,
+                start + k if ids is None else ids[k],
                 releases[k],
                 tuple(rows[k]),
                 1.0 if weights is None else weights[k],

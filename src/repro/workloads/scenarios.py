@@ -1,0 +1,304 @@
+"""Named heavy-traffic scenario catalog layered on generators and trace transforms.
+
+Each :class:`Scenario` is a deterministic recipe turning ``(num_jobs,
+num_machines, seed)`` into a stream of validated
+:class:`~repro.workloads.generators.JobChunk` blocks — the same bulk format
+traces and the chunked generators use — so every scenario feeds
+``repro.solve()``, a streaming :class:`~repro.service.session.SchedulerSession`
+and ``repro trace generate`` identically.  The shapes cover the heavy-traffic
+regimes the ROADMAP asks for:
+
+* ``heavy-tail-pareto`` — near-critical load with an extreme Pareto tail
+  (shape 1.1): the classic systems workload where short jobs starve behind
+  elephants and the paper's rejection rules earn their keep;
+* ``diurnal-pareto`` — a day/night arrival cycle carved out of a Poisson
+  trace with a piecewise-linear time warp (peak rate 10x the trough);
+* ``flash-crowd`` — smooth background traffic with a synchronized burst
+  (one quarter of all jobs) landing mid-trace, merged in release order;
+* ``multi-tenant-mix`` — three tenants interleaved by release: interactive
+  (short uniform jobs, high weight), batch (heavy-tailed long jobs, low
+  weight) and a bursty bimodal tenant;
+* ``load-ramp`` — a stationary trace re-clocked so the arrival rate grows
+  steadily until the system crosses into overload.
+
+The catalog is exposed to experiments (E14 sweeps all streaming solvers over
+it), to ``standard_suites()`` (a ``scenarios`` suite at every scale) and to
+the CLI (``repro trace generate --scenario``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.simulation.instance import Instance
+from repro.workloads.generators import (
+    DEFAULT_CHUNK_SIZE,
+    InstanceGenerator,
+    JobChunk,
+    WeightedInstanceGenerator,
+)
+from repro.workloads.traces import chunks_to_instance, merge, time_warp
+
+__all__ = [
+    "Scenario",
+    "SCENARIOS",
+    "available_scenarios",
+    "get_scenario",
+    "piecewise_warp",
+]
+
+#: Signature of a scenario builder: (num_jobs, num_machines, seed, chunk_size).
+ScenarioBuilder = Callable[[int, int, int, int], Iterator[JobChunk]]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, deterministic heavy-traffic workload recipe."""
+
+    name: str
+    description: str
+    builder: ScenarioBuilder
+
+    def job_chunks(
+        self,
+        num_jobs: int,
+        num_machines: int = 4,
+        seed: int = 2018,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> Iterator[JobChunk]:
+        """Stream the scenario as validated job chunks (pure in the seed)."""
+        if num_jobs < 0:
+            raise InvalidParameterError(f"num_jobs must be non-negative, got {num_jobs}")
+        if num_machines <= 0:
+            raise InvalidParameterError(
+                f"num_machines must be positive, got {num_machines}"
+            )
+        return self.builder(num_jobs, num_machines, seed, chunk_size)
+
+    def instance(
+        self,
+        num_jobs: int,
+        num_machines: int = 4,
+        seed: int = 2018,
+        alpha: float = 3.0,
+        name: "str | None" = None,
+    ) -> Instance:
+        """Materialise the scenario as an :class:`Instance`."""
+        return chunks_to_instance(
+            self.job_chunks(num_jobs, num_machines, seed),
+            machines=num_machines,
+            alpha=alpha,
+            name=name or f"scenario:{self.name}(m={num_machines},n={num_jobs})",
+        )
+
+
+def piecewise_warp(
+    period: float, multipliers: tuple[float, ...]
+) -> Callable[[np.ndarray], np.ndarray]:
+    """A monotone piecewise-linear time warp encoding a cyclic rate profile.
+
+    The returned function maps *work time* (a homogeneous arrival axis) to
+    *wall time* such that, inside the ``k``-th of ``len(multipliers)`` equal
+    segments of each ``period``, the arrival rate is ``multipliers[k]`` times
+    the base rate — the standard time-rescaling construction for
+    nonhomogeneous Poisson processes, vectorised and exactly invertible.
+    """
+    if period <= 0:
+        raise InvalidParameterError(f"period must be positive, got {period}")
+    mults = np.asarray(multipliers, dtype=np.float64)
+    if mults.size == 0 or not (mults > 0).all():
+        raise InvalidParameterError("multipliers must be positive")
+    seg = period / mults.size
+    work_per_cycle = float((mults * seg).sum())
+
+    def warp(values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            return values
+        cycles = int(np.floor(float(values.max()) / work_per_cycle)) + 2
+        work_knots = np.concatenate(
+            [[0.0], np.cumsum(np.tile(mults * seg, cycles))]
+        )
+        wall_knots = np.arange(work_knots.size) * seg
+        return np.interp(values, work_knots, wall_knots)
+
+    return warp
+
+
+# --------------------------------------------------------------------------------------
+# Builders
+# --------------------------------------------------------------------------------------
+
+
+def _heavy_tail(n: int, m: int, seed: int, chunk_size: int) -> Iterator[JobChunk]:
+    generator = InstanceGenerator(
+        num_machines=m,
+        arrival_process="poisson",
+        size_distribution="pareto",
+        size_params={"shape": 1.1, "high": 5000.0},
+        load=0.95,
+        seed=seed,
+    )
+    return generator.iter_job_chunks(n, chunk_size)
+
+
+def _diurnal(n: int, m: int, seed: int, chunk_size: int) -> Iterator[JobChunk]:
+    generator = InstanceGenerator(
+        num_machines=m,
+        arrival_process="poisson",
+        size_distribution="pareto",
+        load=0.85,
+        seed=seed,
+    )
+    warp = piecewise_warp(
+        period=max(64.0, n / 4.0),
+        multipliers=(0.25, 0.5, 1.25, 2.5, 2.5, 1.25, 0.5, 0.25),
+    )
+    return time_warp(generator.iter_job_chunks(n, chunk_size), warp)
+
+
+def _flash_crowd(n: int, m: int, seed: int, chunk_size: int) -> Iterator[JobChunk]:
+    burst_jobs = n // 4
+    base_jobs = n - burst_jobs
+    background = InstanceGenerator(
+        num_machines=m,
+        arrival_process="poisson",
+        size_distribution="exponential",
+        load=0.7,
+        seed=seed,
+    )
+    crowd = InstanceGenerator(
+        num_machines=m,
+        arrival_process="batched",
+        batch_size=max(1, burst_jobs),
+        size_distribution="uniform",
+        size_params={"low": 0.5, "high": 3.0},
+        load=None,
+        seed=seed + 1,
+    )
+    # The crowd lands mid-trace: shift its (single-batch, t=0) releases to
+    # the middle of the background's expected span (rate 1 => span ~ n).
+    strike = base_jobs / 2.0
+    surge = time_warp(crowd.iter_job_chunks(burst_jobs, chunk_size), lambda t: t + strike)
+    return merge(
+        background.iter_job_chunks(base_jobs, chunk_size), surge, chunk_size=chunk_size
+    )
+
+
+def _multi_tenant(n: int, m: int, seed: int, chunk_size: int) -> Iterator[JobChunk]:
+    interactive_jobs = n - n // 4 - n // 4
+    interactive = WeightedInstanceGenerator(
+        num_machines=m,
+        arrival_process="poisson",
+        size_distribution="uniform",
+        size_params={"low": 0.5, "high": 2.0},
+        weight_low=2.0,
+        weight_high=8.0,
+        load=0.5,
+        seed=seed,
+    )
+    batch = WeightedInstanceGenerator(
+        num_machines=m,
+        arrival_process="poisson",
+        arrival_rate=0.25,
+        size_distribution="pareto",
+        size_params={"shape": 1.3, "high": 2000.0},
+        weight_low=0.25,
+        weight_high=1.0,
+        load=0.35,
+        seed=seed + 1,
+    )
+    bursty = WeightedInstanceGenerator(
+        num_machines=m,
+        arrival_process="bursty",
+        size_distribution="bimodal",
+        size_params={"short": 1.0, "long": 30.0, "long_fraction": 0.1},
+        weight_low=0.5,
+        weight_high=2.0,
+        load=0.25,
+        seed=seed + 2,
+    )
+    return merge(
+        interactive.iter_job_chunks(interactive_jobs, chunk_size),
+        batch.iter_job_chunks(n // 4, chunk_size),
+        bursty.iter_job_chunks(n // 4, chunk_size),
+        chunk_size=chunk_size,
+    )
+
+
+def _load_ramp(n: int, m: int, seed: int, chunk_size: int) -> Iterator[JobChunk]:
+    generator = InstanceGenerator(
+        num_machines=m,
+        arrival_process="poisson",
+        size_distribution="exponential",
+        load=0.9,
+        seed=seed,
+    )
+    # t -> t^0.7 (rescaled to preserve the overall span): the warp's slope
+    # falls over time, so arrivals pack ever tighter — load ramps from
+    # roughly 0.6x to beyond 1.3x of the stationary level.
+    span = max(1.0, float(n))
+    exponent = 0.7
+
+    def ramp(values: np.ndarray) -> np.ndarray:
+        return span * (np.asarray(values, dtype=np.float64) / span) ** exponent
+
+    return time_warp(generator.iter_job_chunks(n, chunk_size), ramp)
+
+
+def _register(*scenarios: Scenario) -> dict[str, Scenario]:
+    catalog: dict[str, Scenario] = {}
+    for scenario in scenarios:
+        if scenario.name in catalog:
+            raise InvalidParameterError(f"duplicate scenario name {scenario.name!r}")
+        catalog[scenario.name] = scenario
+    return catalog
+
+
+#: The scenario catalog, in reporting order.
+SCENARIOS: dict[str, Scenario] = _register(
+    Scenario(
+        "heavy-tail-pareto",
+        "near-critical load, Pareto(1.1) service times (elephants and mice)",
+        _heavy_tail,
+    ),
+    Scenario(
+        "diurnal-pareto",
+        "day/night arrival cycle (10x peak-to-trough) over Pareto sizes",
+        _diurnal,
+    ),
+    Scenario(
+        "flash-crowd",
+        "smooth background plus a synchronized mid-trace burst of 25% of all jobs",
+        _flash_crowd,
+    ),
+    Scenario(
+        "multi-tenant-mix",
+        "interactive + batch + bursty tenants interleaved by release",
+        _multi_tenant,
+    ),
+    Scenario(
+        "load-ramp",
+        "arrival rate ramping steadily from underload into overload",
+        _load_ramp,
+    ),
+)
+
+
+def available_scenarios() -> dict[str, str]:
+    """Mapping of scenario name to its one-line description."""
+    return {name: scenario.description for name, scenario in SCENARIOS.items()}
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a catalog scenario by name."""
+    scenario = SCENARIOS.get(name)
+    if scenario is None:
+        raise InvalidParameterError(
+            f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}"
+        )
+    return scenario

@@ -7,12 +7,18 @@ parameterisation.  ``standard_suites()`` returns the suites in three scales:
 * ``small``  — seconds to run; used by the test suite and CI;
 * ``medium`` — the default for the benchmark harness;
 * ``large``  — for scalability measurements (E8).
+
+Four suites ship per scale: ``flow``, ``weighted``, ``deadline`` and
+``scenarios`` — the heavy-traffic scenario catalog of
+:mod:`repro.workloads.scenarios` sized to the scale.  Suite names and labels
+are validated against duplicates at registration
+(:func:`validate_unique_suites`, :meth:`WorkloadSuite.add`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Iterable
 
 from repro.exceptions import InvalidParameterError
 from repro.simulation.instance import Instance
@@ -22,6 +28,7 @@ from repro.workloads.generators import (
     InstanceGenerator,
     WeightedInstanceGenerator,
 )
+from repro.workloads.scenarios import SCENARIOS
 
 
 @dataclass
@@ -55,10 +62,27 @@ class WorkloadSuite:
         return list(self.factories)
 
 
+def validate_unique_suites(suites: Iterable[WorkloadSuite]) -> None:
+    """Reject duplicate suite names at registration time.
+
+    Suites are addressed by name everywhere (benchmarks, docs, campaign
+    reports); two suites sharing a name would silently shadow each other in
+    any keyed collection, so registration fails loudly instead.
+    """
+    seen: set[str] = set()
+    for suite in suites:
+        if suite.name in seen:
+            raise InvalidParameterError(f"duplicate workload suite name {suite.name!r}")
+        seen.add(suite.name)
+
+
 _SCALES = {
-    "small": {"flow_jobs": 150, "weighted_jobs": 80, "deadline_jobs": 30, "machines": 3},
-    "medium": {"flow_jobs": 800, "weighted_jobs": 300, "deadline_jobs": 60, "machines": 6},
-    "large": {"flow_jobs": 5000, "weighted_jobs": 1500, "deadline_jobs": 120, "machines": 16},
+    "small": {"flow_jobs": 150, "weighted_jobs": 80, "deadline_jobs": 30,
+              "scenario_jobs": 120, "machines": 3},
+    "medium": {"flow_jobs": 800, "weighted_jobs": 300, "deadline_jobs": 60,
+               "scenario_jobs": 600, "machines": 6},
+    "large": {"flow_jobs": 5000, "weighted_jobs": 1500, "deadline_jobs": 120,
+              "scenario_jobs": 4000, "machines": 16},
 }
 
 
@@ -137,4 +161,16 @@ def standard_suites(scale: str = "small", seed: int = 2018) -> dict[str, Workloa
         ).generate(max(10, params["deadline_jobs"] // 2)),
     )
 
-    return {"flow": flow, "weighted": weighted, "deadline": deadline}
+    scenarios = WorkloadSuite(name=f"scenarios-{scale}")
+    for scenario in SCENARIOS.values():
+        scenarios.add(
+            scenario.name,
+            lambda scenario=scenario: scenario.instance(
+                params["scenario_jobs"], num_machines=m, seed=seed + 30
+            ),
+        )
+
+    suites = {"flow": flow, "weighted": weighted, "deadline": deadline,
+              "scenarios": scenarios}
+    validate_unique_suites(suites.values())
+    return suites

@@ -1,0 +1,86 @@
+"""Tests for the cumulative bench trajectory and the E14 benchmark case."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from benchmarks.trajectory import (
+    FIELDS,
+    append_run,
+    main,
+    read_trajectory,
+    trajectory_line,
+)
+from repro.benchmarking import SPECS, artifact_path, run_benchmarks
+
+
+@pytest.fixture(scope="module")
+def artifact_dir(tmp_path_factory):
+    out = tmp_path_factory.mktemp("bench")
+    run_benchmarks(out, only=["event_queue", "solver_facade"], repeats=1, scale=0.02)
+    return out
+
+
+class TestTrajectory:
+    def test_line_carries_measurement_and_provenance(self, artifact_dir):
+        artifact = json.loads(
+            artifact_path(artifact_dir, "event_queue").read_text()
+        )
+        row = json.loads(trajectory_line(artifact, commit="abc", run="7"))
+        assert row["commit"] == "abc" and row["run"] == "7"
+        for field in FIELDS:
+            assert field in row
+        assert row["bench"] == "event_queue"
+
+    def test_append_accumulates_across_runs(self, artifact_dir, tmp_path):
+        trajectory = tmp_path / "nested" / "trajectory.ndjson"
+        assert append_run(trajectory, artifact_dir, commit="one", run="1") == 2
+        assert append_run(trajectory, artifact_dir, commit="two", run="2") == 2
+        rows = read_trajectory(trajectory)
+        assert len(rows) == 4
+        assert [row["run"] for row in rows] == ["1", "1", "2", "2"]
+        # Sorted filename order within a run keeps the file deterministic.
+        assert [row["bench"] for row in rows[:2]] == ["event_queue", "solver_facade"]
+
+    def test_missing_artifacts_raise(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            append_run(tmp_path / "t.ndjson", tmp_path)
+
+    def test_cli_appends_and_reports(self, artifact_dir, tmp_path, capsys):
+        out = tmp_path / "trajectory.ndjson"
+        code = main(["--artifacts", str(artifact_dir), "--out", str(out),
+                     "--commit", "deadbeef", "--run", "9"])
+        assert code == 0
+        assert "appended 2 benchmark(s)" in capsys.readouterr().out
+        assert all(row["commit"] == "deadbeef" for row in read_trajectory(out))
+
+    def test_cli_missing_artifacts_exits_2(self, tmp_path, capsys):
+        code = main(["--artifacts", str(tmp_path), "--out",
+                     str(tmp_path / "t.ndjson")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestE14Bench:
+    def test_registered_and_quick(self):
+        spec = SPECS["e14_robustness"]
+        assert spec.quick, "e14_robustness must run in the per-PR CI subset"
+
+    def test_runs_at_tiny_scale(self, tmp_path):
+        results = run_benchmarks(
+            tmp_path, only=["e14_robustness"], repeats=1, scale=0.02
+        )
+        (result,) = results
+        assert result["events"] > 0
+        assert result["events_per_sec"] > 0
+        assert result["meta"]["workload"] == "scenario:multi-tenant-mix"
+
+    def test_checked_in_baseline_matches_current_fingerprint(self):
+        from pathlib import Path
+
+        baseline = Path(__file__).resolve().parents[1] / "benchmarks" / "baselines"
+        payload = json.loads(artifact_path(baseline, "e14_robustness").read_text())
+        case = SPECS["e14_robustness"].build(1.0)
+        assert payload["fingerprint"] == case.fingerprint

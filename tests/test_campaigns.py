@@ -182,7 +182,7 @@ class TestRunnerDeterminism:
 class TestGrids:
     def test_available_grids(self):
         grids = available_grids()
-        assert {"smoke", "small", "medium", "solvers"} <= set(grids)
+        assert {"smoke", "small", "medium", "solvers", "e14"} <= set(grids)
         assert all(description for description in grids.values())
 
     def test_unknown_grid(self):
@@ -194,6 +194,7 @@ class TestGrids:
         assert {task.experiment_id for task in tasks} == {
             *(f"E{i}" for i in range(1, 11)),
             "E12",
+            "E14",
         }
 
     def test_solvers_grid_sweeps_algorithms(self):

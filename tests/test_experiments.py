@@ -9,7 +9,11 @@ from repro.experiments import EXPERIMENTS, available_experiments, run_experiment
 
 class TestRegistry:
     def test_all_experiments_listed(self):
-        assert set(available_experiments()) == {*(f"E{i}" for i in range(1, 11)), "E12"}
+        assert set(available_experiments()) == {
+            *(f"E{i}" for i in range(1, 11)),
+            "E12",
+            "E14",
+        }
 
     def test_descriptions_non_empty(self):
         assert all(description for description in available_experiments().values())
@@ -96,6 +100,28 @@ class TestExperimentRuns:
         self._check(result)
         rows = {row["rules"]: row for row in result.raw["rows"]}
         assert rows["no rejection"]["flow_time"] >= rows["both rules"]["flow_time"]
+
+    def test_e14_robustness(self):
+        result = run_experiment(
+            "E14",
+            scenarios=("flash-crowd", "heavy-tail-pareto"),
+            algorithms=("rejection-flow", "greedy"),
+            num_jobs=30,
+        )
+        self._check(result)
+        rows = result.tables[0].rows
+        assert len(rows) == 4
+        assert {row["scenario"] for row in rows} == {"flash-crowd", "heavy-tail-pareto"}
+        # Within each (scenario, objective) group the best solver has ratio 1.0
+        # and every ratio is at least 1.
+        assert all(row["ratio_vs_best"] >= 1.0 for row in rows)
+        for scenario in ("flash-crowd", "heavy-tail-pareto"):
+            assert min(
+                row["ratio_vs_best"] for row in rows if row["scenario"] == scenario
+            ) == 1.0
+        # Throughput measurement is off by default: no wall-clock anywhere.
+        assert all(row["events_per_s"] == "" for row in rows)
+        assert all("elapsed_s" not in row for row in result.raw["rows"])
 
     def test_e10_solver_compare(self):
         result = run_experiment(

@@ -561,7 +561,9 @@ class TestNdjson:
             parse_job_line("{nope", lineno=7)
         with pytest.raises(InvalidParameterError, match="JSON object"):
             parse_job_line("[1, 2]", lineno=2)
-        with pytest.raises(InvalidParameterError, match="malformed job"):
+        # Missing fields are reported with the line number and field name
+        # (the richer TraceSchemaError contract; still an InvalidParameterError).
+        with pytest.raises(InvalidParameterError, match="line 3: field 'release'"):
             parse_job_line('{"id": 1}', lineno=3)
 
     def test_read_jobs_skips_blank_and_comment_lines(self):

@@ -23,8 +23,9 @@ from repro.workloads.suites import WorkloadSuite, standard_suites
 class TestWorkloadSuites:
     def test_standard_suites_exist(self):
         suites = standard_suites("small")
-        assert set(suites) == {"flow", "weighted", "deadline"}
+        assert set(suites) == {"flow", "weighted", "deadline", "scenarios"}
         assert "poisson-pareto" in suites["flow"].labels()
+        assert "flash-crowd" in suites["scenarios"].labels()
 
     def test_build_is_lazy_and_rebuildable(self):
         suite = standard_suites("small")["flow"]

@@ -229,7 +229,8 @@ class TestServeCommand:
         code = main(["serve", "--machines", "2", "--trace", str(path)],
                     out=io.StringIO(), err=err)
         assert code == 2
-        assert "malformed job" in err.getvalue()
+        # The schema error names the line and the missing field.
+        assert "line 1" in err.getvalue() and "'release'" in err.getvalue()
 
     def test_serve_reserved_param_exits_2(self, tmp_path):
         _, path = self._trace_file(tmp_path, num_jobs=3)
