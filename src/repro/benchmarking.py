@@ -122,6 +122,49 @@ def _bench_e1_flow_time(scale: float) -> BenchCase:
     )
 
 
+def _bench_e1_dispatch(scale: float, dispatch: str) -> BenchCase:
+    """The E1 overload-burst workload pinned to one dispatch backend.
+
+    Same workload as ``e1_flow_time`` (which runs the default mode) with an
+    explicit ``dispatch`` in the recipe, so the trajectory records all three
+    backends side by side and the gate guards each one's own baseline.
+    """
+    from repro.core.flow_time import RejectionFlowTimeScheduler
+    from repro.simulation.engine import FlowTimeEngine
+    from repro.workloads.adversarial import overload_burst_instance
+
+    machines = 8
+    burst_jobs = _scaled(1225, scale)
+    trailing = _scaled(200, scale)
+    instance = overload_burst_instance(
+        num_machines=machines, burst_jobs=burst_jobs, trailing_shorts=trailing
+    )
+    engine = FlowTimeEngine(instance, dispatch=dispatch)
+    policy = RejectionFlowTimeScheduler(epsilon=0.5)
+    recipe = {
+        "workload": "overload-burst",
+        "machines": machines,
+        "burst_jobs": burst_jobs,
+        "trailing_shorts": trailing,
+        "algorithm": "rejection-flow(eps=0.5)",
+        "dispatch": dispatch,
+    }
+    return BenchCase(
+        n_jobs=instance.num_jobs,
+        fingerprint=_fingerprint(recipe),
+        run=lambda: engine.run(policy).extras["events"],
+        meta=recipe,
+    )
+
+
+def _bench_e1_scan(scale: float) -> BenchCase:
+    return _bench_e1_dispatch(scale, "scan")
+
+
+def _bench_e1_vectorized(scale: float) -> BenchCase:
+    return _bench_e1_dispatch(scale, "vectorized")
+
+
 def _bench_e1_poisson(scale: float) -> BenchCase:
     """Theorem 1 on the smooth E1 workload (poisson arrivals, pareto sizes)."""
     from repro.core.flow_time import RejectionFlowTimeScheduler
@@ -342,6 +385,10 @@ SPECS: dict[str, BenchSpec] = {
     for spec in (
         BenchSpec("e1_flow_time", "Theorem 1 on the E1 overload-burst workload (n=10k)",
                   _bench_e1_flow_time),
+        BenchSpec("e1_scan", "E1 overload-burst pinned to the scan dispatch backend",
+                  _bench_e1_scan),
+        BenchSpec("e1_vectorized", "E1 overload-burst pinned to the vectorized SoA backend",
+                  _bench_e1_vectorized),
         BenchSpec("e1_poisson", "Theorem 1 on the smooth E1 poisson-pareto workload (n=10k)",
                   _bench_e1_poisson),
         BenchSpec("greedy_overload", "greedy baseline under sustained overload (n=10k)",

@@ -132,7 +132,8 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("auto", "ndjson", "csv"),
                        help="trace format (auto = by file extension; stdin defaults "
                             "to ndjson)")
-    serve.add_argument("--dispatch", default=None, choices=("indexed", "scan"),
+    serve.add_argument("--dispatch", default=None,
+                       choices=("indexed", "scan", "vectorized"),
                        help="engine dispatch mode (default: indexed, env REPRO_DISPATCH)")
     serve.add_argument("--name", default=None,
                        help="session label (used for the assembled instance and result)")

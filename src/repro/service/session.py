@@ -143,7 +143,7 @@ class SchedulerSession:
 
     @property
     def dispatch(self) -> str:
-        """Dispatch mode of the underlying engine (``indexed``/``scan``)."""
+        """Dispatch mode of the underlying engine (``indexed``/``scan``/``vectorized``)."""
         return self.engine.dispatch
 
     @property
@@ -211,8 +211,10 @@ class SchedulerSession:
         """
         self._require_open("submit_many")
         rows: list[Job]
+        chunk = None
         if hasattr(jobs, "validate") and hasattr(jobs, "jobs"):  # JobChunk duck type
             jobs.validate()
+            chunk = jobs
             rows = jobs.jobs()
         else:
             rows = list(jobs)
@@ -233,7 +235,13 @@ class SchedulerSession:
                     "non-decreasing in release date"
                 )
             watermark = job.release
-        count = self._stepper.offer_many(rows)
+        offer_chunk = getattr(self._stepper, "offer_chunk", None)
+        if chunk is not None and offer_chunk is not None:
+            # Vectorized dispatch: the stepper fills its SoA columns straight
+            # from the chunk's numpy arrays instead of re-walking the rows.
+            count = offer_chunk(chunk, rows)
+        else:
+            count = self._stepper.offer_many(rows)
         self._jobs.extend(rows)
         self._watermark = watermark
         self._record_jobs(count)
@@ -479,8 +487,9 @@ def open_session(
         exponent ``alpha`` is created) or an explicit
         :class:`~repro.simulation.machine.Machine` sequence.
     dispatch:
-        Engine dispatch mode override (``indexed``/``scan``); defaults to
-        the engine's environment-controlled default.
+        Engine dispatch mode override (``indexed``/``scan``/``vectorized``);
+        defaults to the engine's environment-controlled default.  All modes
+        finalize to byte-identical outcomes.
     name:
         Label used for the assembled instance and result.
     retain_events:

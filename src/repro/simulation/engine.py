@@ -59,9 +59,12 @@ __all__ = [
 
 #: Recognised dispatch modes: ``"indexed"`` answers select-next argmins from
 #: lazily-invalidated per-machine heaps (see :mod:`repro.simulation.indexed`);
-#: ``"scan"`` keeps the reference linear scans.  Both produce byte-identical
-#: schedules; the equivalence suite asserts it.
-DISPATCH_MODES = ("indexed", "scan")
+#: ``"scan"`` keeps the reference linear scans; ``"vectorized"`` adds the
+#: struct-of-arrays backend (:mod:`repro.simulation.soa`) — SoA job columns,
+#: an array event queue, a fused event loop and optional numba-JIT Fenwick
+#: kernels — on top of the indexed heaps.  All three produce byte-identical
+#: schedules; the three-way equivalence suite asserts it.
+DISPATCH_MODES = ("indexed", "scan", "vectorized")
 
 #: Environment override for the default mode, read at engine construction so
 #: campaign worker processes and tests can pin it without code changes.
@@ -139,6 +142,12 @@ class NonPreemptiveEngine(ABC):
         ``observer`` receives one :class:`DecisionEvent` per scheduling
         decision.
         """
+        if self.dispatch == "vectorized":
+            # Imported lazily: soa builds on stepper/state, so a module-level
+            # import would be circular, and the other modes never need it.
+            from repro.simulation.soa import VectorizedStepper
+
+            return VectorizedStepper(self, policy, observer=observer)
         return EngineStepper(self, policy, observer=observer)
 
     def run(self, policy) -> SimulationResult:

@@ -1,0 +1,105 @@
+"""Optional-JIT kernels for the vectorized dispatch backend.
+
+The vectorized backend keeps two interchangeable layouts for its Fenwick
+order statistics (:class:`~repro.simulation.soa.VectorizedPrefixStats`):
+
+* ``"lists"`` — plain Python lists, walked by inlined Python loops.  This is
+  the default without numba: list indexing from bytecode beats numpy scalar
+  indexing by a wide margin, so the pure-Python walk *is* the fast fallback.
+* ``"numpy"`` — contiguous ``float64``/``int64`` arrays, walked by the
+  kernels below.  With numba importable the kernels are JIT-compiled and the
+  array layout wins; without numba they still run as plain Python over numpy
+  scalars — slower, but bit-identical, which is what the fallback-equivalence
+  tests pin down.
+
+Both layouts perform float additions in the exact same (Fenwick-node) order,
+so results are byte-identical across layouts and JIT states.  numba is never
+required: :data:`HAVE_NUMBA` reports availability and :func:`maybe_jit`
+degrades to the identity decorator.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = [
+    "HAVE_NUMBA",
+    "KERNEL_LAYOUT_ENV_VAR",
+    "maybe_jit",
+    "active_layout",
+    "fenwick_prefix",
+    "fenwick_update",
+]
+
+#: Environment override for the Fenwick tree layout used by the vectorized
+#: backend: ``auto`` (numpy iff numba is importable), ``numpy`` or ``lists``.
+#: The layout-equivalence tests force each side explicitly.
+KERNEL_LAYOUT_ENV_VAR = "REPRO_VECTORIZED_KERNELS"
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+
+    HAVE_NUMBA = True
+except ImportError:
+    numba = None
+    HAVE_NUMBA = False
+
+
+def maybe_jit(fn):
+    """``numba.njit(cache=True)`` when numba is importable, identity otherwise.
+
+    Compilation is deferred to the first call either way, so importing this
+    module costs nothing on the (common) numba-less path.
+    """
+    if HAVE_NUMBA:  # pragma: no cover - exercised only where numba is installed
+        return numba.njit(cache=True)(fn)
+    return fn
+
+
+def active_layout() -> str:
+    """The Fenwick layout the vectorized backend should use right now.
+
+    ``auto`` (the default) picks ``numpy`` exactly when the kernels are
+    JIT-compiled; anything else would pay numpy scalar-indexing overhead in
+    the hot walk for no benefit.  An unknown value raises immediately rather
+    than silently running a different layout than the operator asked for.
+    """
+    choice = os.environ.get(KERNEL_LAYOUT_ENV_VAR, "auto")
+    if choice == "auto":
+        return "numpy" if HAVE_NUMBA else "lists"
+    if choice not in ("numpy", "lists"):
+        raise InvalidParameterError(
+            f"{KERNEL_LAYOUT_ENV_VAR} must be one of ('auto', 'numpy', 'lists'), "
+            f"got {choice!r}"
+        )
+    return choice
+
+
+def _fenwick_prefix(count_tree, size_tree, position):
+    """``(count, size sum)`` over Fenwick nodes below ``position``.
+
+    The node visit order (descending node value = ascending set bit) matches
+    :meth:`~repro.simulation.indexed.PendingPrefixStats.stats_below` exactly,
+    so float accumulation is bit-identical to the list layout.
+    """
+    count = 0
+    total = 0.0
+    while position > 0:
+        count += count_tree[position]
+        total += size_tree[position]
+        position -= position & -position
+    return count, total
+
+
+def _fenwick_update(count_tree, size_tree, position, n, size, delta):
+    """Point update of both trees at ``position`` (1-based)."""
+    while position <= n:
+        size_tree[position] += size
+        count_tree[position] += delta
+        position += position & -position
+
+
+fenwick_prefix = maybe_jit(_fenwick_prefix)
+fenwick_update = maybe_jit(_fenwick_update)

@@ -127,17 +127,23 @@ class EngineStepper:
         instance = engine.instance
         policy.reset(instance)
 
-        state = EngineState(instance)
+        state = self._make_state(instance)
         key_fn = getattr(policy, "priority_key", None)
         if not callable(key_fn):
             key_fn = None
         index: IndexedPending | None = None
         stats_factory = None
         if key_fn is not None:
-            if engine.dispatch == "indexed":
+            # Both the indexed and the vectorized modes answer select-next
+            # argmins from the lazily-invalidated heaps; only scan keeps
+            # the reference linear scans.
+            if engine.dispatch in ("indexed", "vectorized"):
                 index = IndexedPending(instance.num_machines, key_fn)
             if getattr(policy, "wants_prefix_stats", False):
                 num_machines = instance.num_machines
+                make_stats = self._make_stats
+
+                build_ranks = self._build_ranks
 
                 def stats_factory(state=state, key_fn=key_fn, num_machines=num_machines):
                     # Ranks cover every job registered with the state at
@@ -145,13 +151,13 @@ class EngineStepper:
                     # path (all jobs are offered before any event runs),
                     # everything ingested so far on a streaming session.
                     jobs = list(state.jobs_by_id.values())
-                    ranks = build_priority_ranks(jobs, num_machines, key_fn)
-                    return PendingPrefixStats(ranks, len(jobs))
+                    ranks = build_ranks(jobs, num_machines, key_fn)
+                    return make_stats(ranks, len(jobs))
 
         state.install_priority(key_fn, index, stats_factory)
 
         self.state = state
-        self.queue = EventQueue()
+        self.queue = self._make_queue()
         self.records: dict[int, JobRecord] = {}
         self.intervals: list[ExecutionInterval] = []
         self.event_count = 0
@@ -166,6 +172,24 @@ class EngineStepper:
         # their answer may depend on global state the event did not touch.
         self._recheck: set[int] = set()
         self._finished = False
+
+    # -- construction hooks (overridden by the vectorized backend) -----------------
+
+    def _make_state(self, instance: Instance) -> EngineState:
+        """Build the engine state; ``dispatch="vectorized"`` swaps in the SoA state."""
+        return EngineState(instance)
+
+    def _make_queue(self) -> EventQueue:
+        """Build the event queue; the vectorized backend uses an array-backed one."""
+        return EventQueue()
+
+    def _make_stats(self, ranks: list[dict[int, int]], num_jobs: int) -> PendingPrefixStats:
+        """Build the Fenwick prefix stats over freshly computed priority ranks."""
+        return PendingPrefixStats(ranks, num_jobs)
+
+    def _build_ranks(self, jobs, num_machines: int, key_fn) -> list[dict[int, int]]:
+        """Compute per-machine priority ranks; the SoA backend builds columnar."""
+        return build_priority_ranks(jobs, num_machines, key_fn)
 
     # -- ingestion -----------------------------------------------------------------
 

@@ -72,6 +72,7 @@ def solve(
     algorithm: str = "rejection-flow",
     *,
     model: str | None = None,
+    dispatch: str | None = None,
     **params: Any,
 ) -> SolveOutcome:
     """Run ``algorithm`` on ``instance`` and return a uniform outcome.
@@ -88,6 +89,13 @@ def solve(
         (``fixed-speed`` / ``speed-scaling`` / ``reference``); a mismatch with
         the algorithm's declared model raises :class:`SolverModelError`
         instead of silently running under a different cost model.
+    dispatch:
+        Engine dispatch mode override (``indexed`` / ``scan`` /
+        ``vectorized``); defaults to the engine's environment-controlled
+        default (``REPRO_DISPATCH``).  All modes produce byte-identical
+        outcomes.  Only meaningful for policy-based engine algorithms —
+        reference solvers and runner-backed algorithms build their own
+        execution and reject an explicit override.
     params:
         Algorithm parameters, validated against the registry schema (unknown
         names, wrong types and out-of-range values raise
@@ -100,6 +108,12 @@ def solve(
             f"not the requested {model!r}"
         )
     validated = spec.validate_params(params)
+
+    if dispatch is not None and (spec.model == "reference" or spec.runner is not None):
+        raise InvalidParameterError(
+            f"algorithm {algorithm!r} does not run through a dispatchable engine; "
+            "the dispatch override only applies to policy-based engine algorithms"
+        )
 
     if spec.model == "reference":
         ref = spec.runner(instance, **validated)
@@ -129,7 +143,7 @@ def solve(
             )
     else:
         policy = _build_policy(spec, validated)
-        result = _ENGINES[spec.model](instance).run(policy)
+        result = _ENGINES[spec.model](instance, dispatch=dispatch).run(policy)
 
     return outcome_from_result(spec, validated, result, policy=policy)
 

@@ -141,13 +141,72 @@ class TestCli:
         assert code == 0
         assert artifact_path(out_dir, "event_queue").is_file()
 
-    def test_checked_in_baseline_matches_current_fingerprint(self):
-        # The CI gate is only meaningful while the baseline's workload recipe
-        # matches the harness; changing the e1 bench requires re-recording
-        # benchmarks/baselines/BENCH_e1_flow_time.json.
+    @pytest.mark.parametrize("slug", ["e1_flow_time", "e1_scan", "e1_vectorized"])
+    def test_checked_in_baseline_matches_current_fingerprint(self, slug):
+        # The CI gate is only meaningful while a baseline's workload recipe
+        # matches the harness; changing a bench requires re-recording its
+        # benchmarks/baselines/BENCH_<slug>.json deliberately.
         from pathlib import Path
 
         baseline = Path(__file__).resolve().parents[1] / "benchmarks" / "baselines"
-        payload = json.loads(artifact_path(baseline, "e1_flow_time").read_text())
-        case = SPECS["e1_flow_time"].build(1.0)
+        payload = json.loads(artifact_path(baseline, slug).read_text())
+        case = SPECS[slug].build(1.0)
         assert payload["fingerprint"] == case.fingerprint
+
+
+class TestDispatchBenches:
+    def test_registered_and_quick(self):
+        # All three dispatch modes must run in the per-PR CI subset so the
+        # trajectory records them side by side.
+        for slug in ("e1_flow_time", "e1_scan", "e1_vectorized"):
+            assert SPECS[slug].quick, slug
+
+    def test_distinct_fingerprints_per_mode(self):
+        # Same workload, different recipes: each mode gates against its own
+        # baseline, never against another mode's.
+        cases = {
+            slug: SPECS[slug].build(_SCALE)
+            for slug in ("e1_flow_time", "e1_scan", "e1_vectorized")
+        }
+        fingerprints = [case.fingerprint for case in cases.values()]
+        assert len(set(fingerprints)) == len(fingerprints)
+        assert cases["e1_scan"].meta["dispatch"] == "scan"
+        assert cases["e1_vectorized"].meta["dispatch"] == "vectorized"
+
+    def test_vectorized_runs_at_tiny_scale(self, tmp_path):
+        (result,) = run_benchmarks(tmp_path, only=["e1_vectorized"], repeats=1, scale=_SCALE)
+        assert result["events"] > 0
+        assert result["events_per_sec"] > 0
+
+
+class TestFrontier1MPreset:
+    def test_preset_pins_the_frontier_point(self):
+        from repro.experiments.exp_scalability_frontier import (
+            FRONTIER_1M_PEAK_RSS_BUDGET_MB,
+            frontier_1m_config,
+        )
+
+        config = frontier_1m_config()
+        assert config.job_counts == (1_000_000,)
+        assert config.algorithms == ("rejection-flow",)
+        assert config.dispatch == "vectorized"
+        assert FRONTIER_1M_PEAK_RSS_BUDGET_MB >= 2048
+
+    def test_preset_runs_at_reduced_scale_within_budget(self):
+        # The full n=1M point is a nightly-scale run; here the same config
+        # shape at n=2k proves the wiring (vectorized dispatch reaches the
+        # engine) and that peak RSS is tracked.
+        from dataclasses import replace
+
+        from repro.experiments.exp_scalability_frontier import (
+            FRONTIER_1M_PEAK_RSS_BUDGET_MB,
+            frontier_1m_config,
+            run,
+        )
+
+        config = replace(frontier_1m_config(), job_counts=(2_000,))
+        result = run(config)
+        (row,) = result.raw["rows"]
+        assert row["algorithm"] == "rejection-flow"
+        assert row["events"] > 0
+        assert 0 < row["peak_rss_mb"] < FRONTIER_1M_PEAK_RSS_BUDGET_MB

@@ -1,14 +1,17 @@
-"""Indexed scheduler state: equivalence with the scan path plus unit tests.
+"""Three-way differential harness over the dispatch backends, plus unit tests.
 
-The contract of the indexed dispatch path (PR: indexed scheduler state) is
-that indexing changes *how* the select-next argmin is found — per-machine
-lazily-invalidated heaps instead of linear scans — but never *which* job wins:
-``FlowTimeEngine(instance, dispatch="indexed")`` and ``dispatch="scan"`` must
-produce byte-identical :class:`SimulationResult` objects for every policy on
-every instance.  The equivalence suite drives that claim across the
-property-based instance generators of ``test_property_based``; the unit tests
-cover the data structures directly, including lazy invalidation under
-mid-run Rule-1 rejection.
+The contract of the dispatch backends (PRs: indexed scheduler state,
+vectorized SoA backend) is that they change *how* decisions are computed —
+lazily-invalidated heaps, Fenwick order statistics, struct-of-arrays fused
+sweeps — but never *which* decisions are made:
+``FlowTimeEngine(instance, dispatch=mode)`` must produce byte-identical
+:class:`SimulationResult` objects for every ``mode`` in
+:data:`~repro.simulation.engine.DISPATCH_MODES`, for every policy on every
+instance.  The equivalence suite drives that claim across the property-based
+instance generators of ``test_property_based`` and the named scenario
+catalog; the unit tests cover the data structures directly, including lazy
+invalidation under mid-run Rule-1 rejection and both Fenwick layouts of the
+vectorized backend.
 """
 
 from __future__ import annotations
@@ -25,7 +28,11 @@ from repro.core.flow_time import RejectionFlowTimeScheduler
 from repro.core.flow_time_energy import RejectionEnergyFlowScheduler
 from repro.core.ordering import spt_key
 from repro.exceptions import SimulationError
-from repro.simulation.engine import FlowTimeEngine, default_dispatch_mode
+from repro.simulation.engine import (
+    DISPATCH_MODES,
+    FlowTimeEngine,
+    default_dispatch_mode,
+)
 from repro.simulation.indexed import (
     IndexedPending,
     PendingPrefixStats,
@@ -33,26 +40,41 @@ from repro.simulation.indexed import (
 )
 from repro.simulation.instance import Instance
 from repro.simulation.job import Job
+from repro.simulation.kernels import (
+    HAVE_NUMBA,
+    KERNEL_LAYOUT_ENV_VAR,
+    active_layout,
+    fenwick_prefix,
+    fenwick_update,
+    maybe_jit,
+)
 from repro.simulation.speed_engine import SpeedScalingEngine
 from repro.simulation.state import PendingSet
 from repro.workloads.adversarial import overload_burst_instance
 from repro.workloads.generators import InstanceGenerator
+from repro.workloads.scenarios import SCENARIOS, get_scenario
 
 _EPSILONS = st.sampled_from([0.1, 0.3, 0.5, 0.8])
 
 
-def _assert_identical(a, b):
-    """Byte-level equivalence of two simulation results."""
-    assert a.records == b.records
-    assert a.intervals == b.intervals
-    assert a.extras == b.extras
-    assert a.algorithm == b.algorithm
+def _assert_identical(*results):
+    """Byte-level equivalence of two or more simulation results."""
+    first = results[0]
+    for other in results[1:]:
+        assert first.records == other.records
+        assert first.intervals == other.intervals
+        assert first.extras == other.extras
+        assert first.algorithm == other.algorithm
+
+
+def _run_modes(instance, policy, engine_cls=FlowTimeEngine, modes=DISPATCH_MODES):
+    return [engine_cls(instance, dispatch=mode).run(policy) for mode in modes]
 
 
 def _run_both(instance, policy, engine_cls=FlowTimeEngine):
-    indexed = engine_cls(instance, dispatch="indexed").run(policy)
-    scanned = engine_cls(instance, dispatch="scan").run(policy)
-    return indexed, scanned
+    # Name kept for history; runs the full three-way matrix since the
+    # vectorized backend landed.
+    return _run_modes(instance, policy, engine_cls)
 
 
 # --------------------------------------------------------------------------------------
@@ -60,12 +82,11 @@ def _run_both(instance, policy, engine_cls=FlowTimeEngine):
 # --------------------------------------------------------------------------------------
 
 
-class TestIndexedScanEquivalence:
+class TestDispatchEquivalence:
     @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
     @given(instance=flow_instances(), epsilon=_EPSILONS)
     def test_theorem1_identical(self, instance, epsilon):
-        indexed, scanned = _run_both(instance, RejectionFlowTimeScheduler(epsilon=epsilon))
-        _assert_identical(indexed, scanned)
+        _assert_identical(*_run_modes(instance, RejectionFlowTimeScheduler(epsilon=epsilon)))
 
     @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
     @given(instance=flow_instances(), epsilon=_EPSILONS)
@@ -74,8 +95,7 @@ class TestIndexedScanEquivalence:
             policy = RejectionFlowTimeScheduler(
                 epsilon=epsilon, enable_rule1=rule1, enable_rule2=rule2
             )
-            indexed, scanned = _run_both(instance, policy)
-            _assert_identical(indexed, scanned)
+            _assert_identical(*_run_modes(instance, policy))
 
     @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
     @given(instance=flow_instances())
@@ -87,31 +107,37 @@ class TestIndexedScanEquivalence:
             ImmediateRejectionScheduler(0.25, "largest"),
             ImmediateRejectionScheduler(0.25, "overload"),
         ):
-            indexed, scanned = _run_both(instance, policy)
-            _assert_identical(indexed, scanned)
+            _assert_identical(*_run_modes(instance, policy))
 
     @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
     @given(instance=flow_instances(max_jobs=10), epsilon=_EPSILONS)
     def test_theorem2_speed_scaling_identical(self, instance, epsilon):
         alpha_instance = instance.with_alpha(2.5)
         policy = RejectionEnergyFlowScheduler(epsilon=epsilon)
-        indexed, scanned = _run_both(alpha_instance, policy, engine_cls=SpeedScalingEngine)
-        _assert_identical(indexed, scanned)
+        _assert_identical(
+            *_run_modes(alpha_instance, policy, engine_cls=SpeedScalingEngine)
+        )
 
     def test_large_burst_identical(self):
         # Deep queues force the Fenwick branch of the order statistics and
         # long stale chains in the select heaps.
         instance = overload_burst_instance(num_machines=4, burst_jobs=60, trailing_shorts=150)
-        indexed, scanned = _run_both(instance, RejectionFlowTimeScheduler(epsilon=0.4))
-        _assert_identical(indexed, scanned)
-        assert any(r.rejected for r in indexed.records.values())
+        results = _run_modes(instance, RejectionFlowTimeScheduler(epsilon=0.4))
+        _assert_identical(*results)
+        assert any(r.rejected for r in results[0].records.values())
 
     def test_generated_poisson_identical(self):
         instance = InstanceGenerator(num_machines=6, seed=42, size_distribution="pareto").generate(
             800
         )
-        indexed, scanned = _run_both(instance, RejectionFlowTimeScheduler(epsilon=0.5))
-        _assert_identical(indexed, scanned)
+        _assert_identical(*_run_modes(instance, RejectionFlowTimeScheduler(epsilon=0.5)))
+
+    @pytest.mark.parametrize("scenario_name", sorted(SCENARIOS))
+    def test_scenario_catalog_identical(self, scenario_name):
+        # Every named heavy-traffic shape (heavy_tail, diurnal, flash_crowd,
+        # multi_tenant, load_ramp) through the full dispatch matrix.
+        instance = get_scenario(scenario_name).instance(num_jobs=300, num_machines=5, seed=11)
+        _assert_identical(*_run_modes(instance, RejectionFlowTimeScheduler(epsilon=0.5)))
 
 
 # --------------------------------------------------------------------------------------
@@ -189,22 +215,21 @@ class TestIndexedPending:
         jobs = [Job(0, 0.0, (100.0,)), Job(1, 1.0, (1.0,)), Job(2, 2.0, (1.0,))]
         instance = Instance.build(1, jobs)
         policy = RejectionFlowTimeScheduler(epsilon=0.5, enable_rule2=False)
-        result = FlowTimeEngine(instance, dispatch="indexed").run(policy)
+        results = _run_modes(instance, policy)
+        result = results[0]
         assert result.record(0).rejected
         assert result.record(0).rejection_reason == "rule1"
         assert result.record(1).finished and result.record(2).finished
-        scanned = FlowTimeEngine(instance, dispatch="scan").run(policy)
-        _assert_identical(result, scanned)
+        _assert_identical(*results)
 
     def test_mid_run_rejection_of_pending_job(self):
         # Rule 2 rejects a *pending* job: its heap entry must be skipped as
         # stale when it surfaces.
         instance = overload_burst_instance(num_machines=1, burst_jobs=6, trailing_shorts=10)
         policy = RejectionFlowTimeScheduler(epsilon=0.5)
-        result = FlowTimeEngine(instance, dispatch="indexed").run(policy)
+        results = _run_modes(instance, policy)
         assert policy.log.rule2, "scenario must fire Rule 2"
-        scanned = FlowTimeEngine(instance, dispatch="scan").run(policy)
-        _assert_identical(result, scanned)
+        _assert_identical(*results)
 
 
 class TestPendingPrefixStats:
@@ -269,6 +294,22 @@ class TestDispatchModes:
         with pytest.raises(SimulationError):
             FlowTimeEngine(instance, dispatch="quantum")
 
+    def test_invalid_mode_error_names_valid_modes(self, monkeypatch):
+        # The error must tell the operator what the valid values are.
+        monkeypatch.setenv("REPRO_DISPATCH", "simd")
+        with pytest.raises(SimulationError, match="simd"):
+            default_dispatch_mode()
+
+    def test_env_vectorized_selects_soa_stepper(self, monkeypatch):
+        from repro.simulation.soa import VectorizedStepper
+
+        monkeypatch.setenv("REPRO_DISPATCH", "vectorized")
+        assert default_dispatch_mode() == "vectorized"
+        instance = Instance.build(1, [Job(0, 0.0, (1.0,))])
+        engine = FlowTimeEngine(instance)
+        assert engine.dispatch == "vectorized"
+        assert isinstance(engine.stepper(RejectionFlowTimeScheduler(0.5)), VectorizedStepper)
+
 
 class TestCampaignStoreEquivalence:
     def test_smoke_grid_stores_byte_identical_across_modes(self, tmp_path, monkeypatch):
@@ -280,7 +321,7 @@ class TestCampaignStoreEquivalence:
 
         tasks = get_grid("smoke").tasks()
         payloads = {}
-        for mode in ("scan", "indexed"):
+        for mode in DISPATCH_MODES:
             monkeypatch.setenv("REPRO_DISPATCH", mode)
             store = ArtifactStore(tmp_path / mode)
             summary = CampaignRunner(store, workers=1).run(tasks)
@@ -289,8 +330,9 @@ class TestCampaignStoreEquivalence:
                 (path.name, path.read_bytes())
                 for path in (tmp_path / mode).rglob("*.json")
             )
-        assert payloads["scan"] == payloads["indexed"]
-        assert payloads["scan"], "stores must not be empty"
+        for mode in DISPATCH_MODES[1:]:
+            assert payloads[DISPATCH_MODES[0]] == payloads[mode], mode
+        assert payloads[DISPATCH_MODES[0]], "stores must not be empty"
 
 
 class TestDetachedState:
@@ -331,3 +373,148 @@ class TestDeliberateIdlePolicy:
         result = FlowTimeEngine(instance, dispatch="indexed").run(HoldBack())
         assert result.record(0).start == pytest.approx(5.0)
         assert result.record(1).finished
+
+
+# --------------------------------------------------------------------------------------
+# Vectorized backend: optional-JIT kernels and Fenwick layouts
+# --------------------------------------------------------------------------------------
+
+
+class TestKernelLayouts:
+    def test_auto_layout_matches_numba_availability(self, monkeypatch):
+        monkeypatch.delenv(KERNEL_LAYOUT_ENV_VAR, raising=False)
+        assert active_layout() == ("numpy" if HAVE_NUMBA else "lists")
+
+    @pytest.mark.parametrize("layout", ["numpy", "lists"])
+    def test_explicit_layout_honoured(self, monkeypatch, layout):
+        monkeypatch.setenv(KERNEL_LAYOUT_ENV_VAR, layout)
+        assert active_layout() == layout
+
+    def test_unknown_layout_rejected(self, monkeypatch):
+        from repro.exceptions import InvalidParameterError
+
+        monkeypatch.setenv(KERNEL_LAYOUT_ENV_VAR, "torch")
+        with pytest.raises(InvalidParameterError, match=KERNEL_LAYOUT_ENV_VAR):
+            active_layout()
+
+    def test_unknown_layout_fails_at_engine_construction(self, monkeypatch):
+        # The env var is resolved when the vectorized stepper is built, not
+        # lazily at first Fenwick materialisation — a typo must not run a
+        # whole workload on a different layout than the operator asked for.
+        from repro.exceptions import InvalidParameterError
+
+        monkeypatch.setenv(KERNEL_LAYOUT_ENV_VAR, "torch")
+        instance = Instance.build(1, [Job(0, 0.0, (1.0,))])
+        engine = FlowTimeEngine(instance, dispatch="vectorized")
+        with pytest.raises(InvalidParameterError, match=KERNEL_LAYOUT_ENV_VAR):
+            engine.stepper(RejectionFlowTimeScheduler(0.5))
+
+    def test_maybe_jit_degrades_to_identity(self):
+        def walk(x):
+            return x
+
+        jitted = maybe_jit(walk)
+        if HAVE_NUMBA:  # pragma: no cover - depends on the environment
+            assert jitted is not walk
+        else:
+            assert jitted is walk
+
+    def test_fenwick_kernels_roundtrip(self):
+        import numpy as np
+
+        n = 8
+        counts = np.zeros(n + 1, dtype=np.int64)
+        sizes = np.zeros(n + 1, dtype=np.float64)
+        fenwick_update(counts, sizes, 3, n, 2.5, 1)
+        fenwick_update(counts, sizes, 5, n, 1.5, 1)
+        assert fenwick_prefix(counts, sizes, n) == (2, 4.0)
+        assert fenwick_prefix(counts, sizes, 4) == (1, 2.5)
+        fenwick_update(counts, sizes, 3, n, -2.5, -1)
+        assert fenwick_prefix(counts, sizes, n) == (1, 1.5)
+
+    def test_numpy_layout_matches_list_layout_queries(self):
+        from repro.simulation.soa import VectorizedPrefixStats
+
+        jobs = [_job(i, size) for i, size in enumerate([5.0, 2.0, 3.0, 9.0, 1.0])]
+        ranks = build_priority_ranks(jobs, 1, spt_key)
+        listy = VectorizedPrefixStats(ranks, len(jobs), layout="lists")
+        numpyish = VectorizedPrefixStats(ranks, len(jobs), layout="numpy")
+        for stats in (listy, numpyish):
+            for job in jobs[:4]:
+                stats.add(0, job.id, job.sizes[0])
+        for job in jobs:
+            assert numpyish.prefix_of(0, job.id) == listy.prefix_of(0, job.id)
+        listy.remove(0, 1, 2.0)
+        numpyish.remove(0, 1, 2.0)
+        for job in jobs:
+            assert numpyish.prefix_of(0, job.id) == listy.prefix_of(0, job.id)
+
+    def test_unknown_stats_layout_rejected(self):
+        from repro.simulation.soa import VectorizedPrefixStats
+
+        with pytest.raises(ValueError, match="layout"):
+            VectorizedPrefixStats([{}], 1, layout="torch")
+
+    @pytest.mark.parametrize("layout", ["lists", "numpy"])
+    def test_layouts_byte_identical_end_to_end(self, monkeypatch, layout):
+        # The numba-absent "numpy" path must fingerprint identically to the
+        # default list path (and, transitively, to the JIT path, which runs
+        # the very same kernel bodies).  Deep queues force the Fenwick
+        # branch, so the layout actually carries the run.
+        instance = overload_burst_instance(num_machines=4, burst_jobs=60, trailing_shorts=120)
+        policy = RejectionFlowTimeScheduler(epsilon=0.4)
+        reference = FlowTimeEngine(instance, dispatch="indexed").run(policy)
+        monkeypatch.setenv(KERNEL_LAYOUT_ENV_VAR, layout)
+        vectorized = FlowTimeEngine(instance, dispatch="vectorized").run(policy)
+        _assert_identical(reference, vectorized)
+
+
+# --------------------------------------------------------------------------------------
+# SoA columns
+# --------------------------------------------------------------------------------------
+
+
+class TestSoAColumns:
+    def test_ingest_jobs_fills_columns(self):
+        from repro.simulation.soa import SoAColumns
+
+        cols = SoAColumns(2)
+        cols.ingest_jobs(
+            [
+                Job(0, 0.0, (1.0, 2.0)),
+                Job(1, 1.5, (3.0, 4.0), weight=2.0, deadline=9.0),
+            ]
+        )
+        assert cols.dense
+        assert cols.row_map() is None
+        assert cols.releases == [0.0, 1.5]
+        assert cols.weights == [1.0, 2.0]
+        assert cols.deadlines == [None, 9.0]
+        assert cols.size_cols[0] == [1.0, 3.0]
+        assert cols.size_cols[1] == [2.0, 4.0]
+
+    def test_non_dense_ids_fall_back_to_row_map(self):
+        from repro.simulation.soa import SoAColumns
+
+        cols = SoAColumns(1)
+        cols.ingest_jobs([Job(7, 0.0, (1.0,)), Job(3, 1.0, (2.0,))])
+        assert not cols.dense
+        row_of = cols.row_map()
+        assert row_of == {7: 0, 3: 1}
+        assert cols.size_cols[0][row_of[3]] == 2.0
+
+    def test_ingest_chunk_matches_ingest_jobs(self):
+        from repro.simulation.soa import SoAColumns
+        from repro.workloads.scenarios import get_scenario
+
+        chunks = list(get_scenario("heavy-tail-pareto").job_chunks(64, num_machines=3, seed=5))
+        by_chunk = SoAColumns(3)
+        by_rows = SoAColumns(3)
+        for chunk in chunks:
+            by_chunk.ingest_chunk(chunk)
+            by_rows.ingest_jobs(chunk.jobs())
+        assert by_chunk.releases == by_rows.releases
+        assert by_chunk.weights == by_rows.weights
+        assert by_chunk.deadlines == by_rows.deadlines
+        assert by_chunk.size_cols == by_rows.size_cols
+        assert by_chunk.row_map() == by_rows.row_map()

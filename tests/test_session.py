@@ -37,7 +37,7 @@ from repro.solvers import get_solver, solve
 from repro.workloads.adversarial import overload_burst_instance
 from repro.workloads.generators import InstanceGenerator, WeightedInstanceGenerator
 
-_DISPATCH_MODES = ("indexed", "scan")
+_DISPATCH_MODES = ("indexed", "scan", "vectorized")
 
 #: Streaming algorithms with their parameter sets used across the suite.
 _FLOW_STREAMING = [
@@ -184,6 +184,40 @@ class TestChunkIngestion:
         by_list.submit_many(instance.jobs)
         _assert_outcome_identical(by_chunk.finalize(), by_list.finalize())
 
+    def test_vectorized_chunk_ingest_identical_to_batch(self):
+        # Chunks submitted to a vectorized session take the zero-copy
+        # ``offer_chunk`` path (SoA columns filled straight from the chunk
+        # arrays); the outcome must stay byte-identical to the batch facade
+        # and to listwise submission on the same dispatch mode.
+        generator = InstanceGenerator(num_machines=4, seed=11)
+        instance = generator.generate_large(600, chunk_size=128)
+        batch = solve(instance, "rejection-flow", epsilon=0.5, dispatch="vectorized")
+        by_chunk = open_session(
+            "rejection-flow", generator.machines(), dispatch="vectorized", epsilon=0.5
+        )
+        for chunk in generator.iter_job_chunks(600, chunk_size=128):
+            by_chunk.submit_many(chunk)
+        by_list = open_session(
+            "rejection-flow", generator.machines(), dispatch="vectorized", epsilon=0.5
+        )
+        by_list.submit_many(instance.jobs)
+        _assert_outcome_identical(by_chunk.finalize(), batch)
+        _assert_outcome_identical(by_list.finalize(), batch)
+
+    def test_vectorized_chunk_ingest_with_interleaved_polling(self):
+        # Poll between chunks so the SoA columns grow while the Fenwick
+        # stats are already materialised (the `repro serve` hot path).
+        generator = InstanceGenerator(num_machines=3, seed=29)
+        instance = generator.generate_large(400, chunk_size=64)
+        batch = solve(instance, "rejection-flow", epsilon=0.4, dispatch="vectorized")
+        session = open_session(
+            "rejection-flow", generator.machines(), dispatch="vectorized", epsilon=0.4
+        )
+        for chunk in generator.iter_job_chunks(400, chunk_size=64):
+            session.submit_many(chunk)
+            session.poll()
+        _assert_outcome_identical(session.finalize(), batch)
+
 
 # --------------------------------------------------------------------------------------
 # Snapshot / restore
@@ -206,6 +240,30 @@ class TestSnapshotRestore:
         batch = solve(instance, "rejection-flow", epsilon=0.5)
         session, half = self._mid_run_session(instance, polled)
         restored = SchedulerSession.restore(session.snapshot())
+        for job in instance.jobs[half:]:
+            session.submit(job)
+            restored.submit(job)
+        original = session.finalize()
+        resumed = restored.finalize()
+        _assert_outcome_identical(resumed, original)
+        _assert_outcome_identical(resumed, batch)
+        assert restored.events == session.events
+
+    def test_vectorized_snapshot_restore_identical(self):
+        # A vectorized session checkpointed mid-run (Fenwick stats
+        # materialised, SoA columns half-filled) must restore with the same
+        # dispatch mode and resume to the byte-identical batch outcome.
+        instance = overload_burst_instance(num_machines=3, burst_jobs=40, trailing_shorts=60)
+        batch = solve(instance, "rejection-flow", epsilon=0.4, dispatch="vectorized")
+        session = open_session(
+            "rejection-flow", instance.machines, dispatch="vectorized", epsilon=0.4
+        )
+        half = len(instance.jobs) // 2
+        for job in instance.jobs[:half]:
+            session.submit(job)
+        session.poll()
+        restored = SchedulerSession.restore(session.snapshot())
+        assert restored.dispatch == "vectorized"
         for job in instance.jobs[half:]:
             session.submit(job)
             restored.submit(job)
