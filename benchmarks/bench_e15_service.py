@@ -1,0 +1,60 @@
+"""Benchmark E15 — multi-session service capacity and byte-identity.
+
+The asyncio service must scale concurrent sessions without compromising the
+determinism contract: every hosted session's final summary is byte-identical
+to the batch ``repro.solve()`` of the same instance, no matter how many
+tenants share the server.  These benchmarks time the full serving stack
+(loopback TCP server + threaded loadgen clients + chunked submit/poll round
+trips) at 1 and 8 concurrent sessions, and assert the ≥32-session
+acceptance demo: all sessions finalize byte-identically under heavy
+concurrency.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.client import run_loadgen
+from repro.service.server import start_server_thread
+
+JOBS_PER_SESSION = 200
+MACHINES = 4
+EPSILON = 0.5
+
+
+def _drive(sessions: int, jobs: int = JOBS_PER_SESSION, verify: bool = False):
+    with start_server_thread() as handle:
+        return run_loadgen(
+            handle.host,
+            handle.port,
+            sessions=sessions,
+            jobs=jobs,
+            machines=MACHINES,
+            seed=2018,
+            params={"epsilon": EPSILON},
+            chunk_size=32,
+            verify=verify,
+        )
+
+
+def test_e15_single_session(benchmark):
+    """Baseline: one session through the full TCP serving stack."""
+    report = benchmark(lambda: _drive(1))
+    assert report.total_jobs == JOBS_PER_SESSION
+    assert report.sessions[0].final_row is not None
+
+
+def test_e15_eight_sessions(benchmark):
+    """The capacity path: 8 concurrent sessions on one server."""
+    report = benchmark(lambda: _drive(8))
+    assert report.total_jobs == 8 * JOBS_PER_SESSION
+    assert all(r.final_row is not None for r in report.sessions)
+
+
+def test_e15_32_sessions_byte_identical():
+    """Acceptance demo: >=32 concurrent sessions, every final summary
+    byte-identical to the batch solve of the same instance."""
+    report = _drive(32, jobs=60, verify=True)
+    assert len(report.sessions) == 32
+    assert report.verified == 32
+    assert report.total_throttled == 0

@@ -1,6 +1,6 @@
 """Unified benchmark harness emitting canonical-JSON ``BENCH_<slug>.json``.
 
-The eleven ad-hoc ``benchmarks/bench_e*.py`` scripts time experiments through
+The ad-hoc ``benchmarks/bench_e*.py`` scripts time experiments through
 pytest-benchmark, which is great interactively but leaves CI blind: no
 machine-readable artifact, no trajectory, no regression gate.  This module is
 the programmatic core behind ``python -m benchmarks.harness`` and
@@ -379,6 +379,44 @@ def _bench_e14_robustness(scale: float) -> BenchCase:
     return BenchCase(n_jobs=n, fingerprint=_fingerprint(recipe), run=run, meta=recipe)
 
 
+def _bench_e15_service(scale: float) -> BenchCase:
+    """The multi-session service end to end: 8 concurrent loadgen streams.
+
+    Each measured iteration boots a loopback asyncio server on its own
+    thread, drives 8 concurrent sessions (one thread + TCP connection each)
+    through chunked submit/poll round trips, and drains it — the E15 hot
+    path and the ``repro serve --listen`` serving stack.  Throughput is
+    counted in decision events received over the wire.
+    """
+    from repro.service.client import run_loadgen
+    from repro.service.server import start_server_thread
+
+    sessions = 8
+    n = _scaled(400, scale)
+    chunk_size = 32
+
+    def run() -> int:
+        with start_server_thread() as handle:
+            report = run_loadgen(
+                handle.host,
+                handle.port,
+                sessions=sessions,
+                jobs=n,
+                machines=4,
+                seed=2018,
+                params={"epsilon": 0.5},
+                chunk_size=chunk_size,
+            )
+        return report.total_decisions
+
+    recipe = {"component": "service-loadgen", "sessions": sessions, "n": n,
+              "machines": 4, "seed": 2018, "chunk_size": chunk_size,
+              "algorithm": "rejection-flow(eps=0.5)", "scenarios": "catalog"}
+    return BenchCase(
+        n_jobs=sessions * n, fingerprint=_fingerprint(recipe), run=run, meta=recipe
+    )
+
+
 #: The benchmark registry, in reporting order.
 SPECS: dict[str, BenchSpec] = {
     spec.slug: spec
@@ -405,6 +443,8 @@ SPECS: dict[str, BenchSpec] = {
                   _bench_session_ingest),
         BenchSpec("e14_robustness", "multi-tenant scenario trace through a session (n=8k)",
                   _bench_e14_robustness),
+        BenchSpec("e15_service", "loopback service: 8 concurrent loadgen sessions (n=8x400)",
+                  _bench_e15_service),
         BenchSpec("frontier_100k", "FCFS over a 100k-job instance (full runs only)",
                   _bench_frontier_100k, quick=False),
     )

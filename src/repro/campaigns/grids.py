@@ -16,7 +16,7 @@ the same way they compare experiment configurations.
 Shipped grids:
 
 * ``smoke``   — E1 only, one seed; used by the test suite;
-* ``small``   — all of E1–E10 + E12/E14 at miniature sweep sizes, two seeds;
+* ``small``   — all of E1–E10 + E12/E14/E15 at miniature sweep sizes, two seeds;
   finishes in well under a minute, the acceptance grid for ``repro campaign run``;
 * ``medium``  — the experiments' default sweep sizes, three seeds; the
   campaign analogue of the benchmark harness;
@@ -150,12 +150,19 @@ _SMALL_OVERRIDES: dict[str, dict[str, Any]] = {
         "algorithms": ("rejection-flow", "greedy", "fcfs"),
         "num_jobs": 60,
     },
+    "E15": {
+        "session_counts": (1, 3),
+        "jobs_per_session": 40,
+        "num_machines": 2,
+        "scenarios": ("heavy-tail-pareto", "flash-crowd", "multi-tenant-mix"),
+    },
 }
 
 #: Sweep-size caps for the ``medium`` grid where the experiment's defaults
 #: are sized for a one-off frontier run rather than a 3-seed campaign.
 _MEDIUM_OVERRIDES: dict[str, dict[str, Any]] = {
     "E12": {"job_counts": (1_000, 10_000, 50_000)},
+    "E15": {"session_counts": (1, 4, 16), "jobs_per_session": 120},
 }
 
 #: Algorithms swept by the ``solvers`` grid: E10's default sweep (flow-time
@@ -177,7 +184,7 @@ GRIDS: dict[str, CampaignGrid] = {
         ),
         _grid(
             "small",
-            "all experiments E1-E10 + E12/E14 at miniature scale, two seeds each",
+            "all experiments E1-E10 + E12/E14/E15 at miniature scale, two seeds each",
             [
                 GridEntry.create(exp_id, overrides=overrides, num_seeds=2)
                 for exp_id, overrides in _SMALL_OVERRIDES.items()
@@ -185,7 +192,7 @@ GRIDS: dict[str, CampaignGrid] = {
         ),
         _grid(
             "medium",
-            "all experiments E1-E10 + E12/E14 at their default sweep sizes, three seeds each",
+            "all experiments E1-E10 + E12/E14/E15 at their default sweep sizes, three seeds each",
             [
                 GridEntry.create(
                     exp_id, overrides=_MEDIUM_OVERRIDES.get(exp_id), num_seeds=3

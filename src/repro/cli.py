@@ -6,6 +6,8 @@ Seven subcommands cover the common workflows::
     python -m repro simulate --jobs 200 --machines 4 --epsilon 0.5 --policy theorem1 --gantt
     python -m repro solve --algorithm rejection-flow --param epsilon=0.5 --jobs 200
     python -m repro serve --algorithm rejection-flow --machines 4 < jobs.ndjson
+    python -m repro serve --listen 127.0.0.1:7077 --checkpoint-dir ckpt
+    python -m repro loadgen --sessions 8 --jobs 500 --verify
     python -m repro trace generate --scenario flash-crowd --jobs 1000 --out crowd.ndjson
     python -m repro bounds --epsilon 0.25 --alpha 3
     python -m repro campaign run --grid small --workers 4
@@ -21,6 +23,13 @@ Seven subcommands cover the common workflows::
 * ``serve`` runs a streaming scheduler session: job rows in (stdin or
   ``--trace FILE``, NDJSON or CSV via ``--trace-format``), decision-event
   lines out as jobs arrive, and a final summary line when the stream ends.
+  With ``--listen HOST:PORT`` it instead hosts the multi-session asyncio
+  service (many named concurrent sessions, bounded-queue backpressure,
+  checkpoint/recover crash recovery, live migration).
+* ``loadgen`` drives N concurrent scenario streams against a service server
+  (or a self-hosted loopback one) and reports throughput and decision
+  latency; ``--verify`` checks every session's final summary byte-identical
+  to the batch ``repro.solve`` of the same instance.
 * ``trace`` works with job traces: ``inspect`` (streamed statistics),
   ``convert`` (NDJSON <-> CSV plus deterministic transforms: load scaling,
   time warping, truncation, sharding), ``generate`` (export a catalog
@@ -94,6 +103,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-algorithms", action="store_true",
         help="list registered algorithms with their capability metadata and exit",
     )
+    solve_cmd.add_argument(
+        "--streaming", action="store_true",
+        help="with --list-algorithms: only algorithms usable as streaming "
+             "sessions (repro serve / the multi-session service)",
+    )
     solve_cmd.add_argument("--algorithm", default="rejection-flow",
                            help="registry id (see --list-algorithms)")
     solve_cmd.add_argument(
@@ -139,6 +153,56 @@ def build_parser() -> argparse.ArgumentParser:
                        help="session label (used for the assembled instance and result)")
     serve.add_argument("--quiet", action="store_true",
                        help="suppress per-decision event lines (only the final summary)")
+    serve.add_argument("--listen", default=None, metavar="HOST:PORT",
+                       help="host the multi-session asyncio service on HOST:PORT "
+                            "(port 0 = ephemeral) instead of a stdio session; the "
+                            "other flags become the defaults for created sessions")
+    serve.add_argument("--max-pending", type=int, default=None, metavar="N",
+                       help="per-session bound on submitted-but-unprocessed jobs "
+                            "(backpressure; service mode)")
+    serve.add_argument("--checkpoint-every", type=int, default=None, metavar="N",
+                       help="checkpoint each session's op log every N operations "
+                            "(service mode)")
+    serve.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                       help="persist checkpoints under DIR (enables --recover)")
+    serve.add_argument("--recover", action="store_true",
+                       help="restore sessions from --checkpoint-dir before listening")
+
+    loadgen = subparsers.add_parser(
+        "loadgen", help="drive concurrent scenario streams against the service"
+    )
+    loadgen.add_argument("--connect", default=None, metavar="HOST:PORT",
+                         help="target an already-running `repro serve --listen` server "
+                              "(default: self-host a loopback server for the run)")
+    loadgen.add_argument("--sessions", type=int, default=4,
+                         help="number of concurrent sessions (one thread + connection each)")
+    loadgen.add_argument("--jobs", type=int, default=256,
+                         help="jobs streamed per session")
+    loadgen.add_argument("--machines", type=int, default=4)
+    loadgen.add_argument("--seed", type=int, default=2018,
+                         help="base seed; session i uses seed+i")
+    loadgen.add_argument("--alpha", type=float, default=3.0)
+    loadgen.add_argument("--algorithm", default="rejection-flow",
+                         help="streaming-capable registry id")
+    loadgen.add_argument(
+        "--param", action="append", default=[], metavar="NAME=VALUE",
+        help="algorithm parameter, validated against the registry schema (repeatable)",
+    )
+    loadgen.add_argument("--dispatch", default=None,
+                         choices=("indexed", "scan", "vectorized"))
+    loadgen.add_argument("--scenario", action="append", default=None, metavar="NAME",
+                         help="catalog scenario to cycle across sessions "
+                              "(repeatable; default: the whole catalog)")
+    loadgen.add_argument("--chunk-size", type=int, default=32,
+                         help="jobs per submit round-trip")
+    loadgen.add_argument("--rate", type=float, default=None, metavar="JOBS_PER_S",
+                         help="pace each session to this many jobs/second "
+                              "(default: unthrottled)")
+    loadgen.add_argument("--verify", action="store_true",
+                         help="check every final summary byte-identical to the "
+                              "batch repro.solve of the same instance")
+    loadgen.add_argument("--json", action="store_true",
+                         help="print the report as canonical JSON")
 
     trace = subparsers.add_parser(
         "trace", help="inspect, convert and generate job traces (NDJSON / CSV)"
@@ -306,20 +370,25 @@ def _parse_param(raw: str):
 
 def _cmd_solve(args: argparse.Namespace, out) -> int:
     if args.list_algorithms:
-        rows = list_algorithms()
+        rows = list_algorithms(streaming=True if args.streaming else None)
         columns = [
             "algorithm", "model", "objective",
             "supports_rejection", "supports_streaming", "params",
         ]
+        title = "== registered algorithms (repro.solve) =="
+        if args.streaming:
+            title = "== streaming-capable algorithms (repro serve / service) =="
         print(
             format_table(
                 headers=columns,
                 rows=[[row[col] for col in columns] for row in rows],
-                title="== registered algorithms (repro.solve) ==",
+                title=title,
             ),
             file=out,
         )
         return 0
+    if args.streaming:
+        raise ReproError("--streaming only filters --list-algorithms output")
 
     params = dict(_parse_param(raw) for raw in args.param)
     generator = InstanceGenerator(
@@ -356,8 +425,20 @@ def _cmd_solve(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _parse_host_port(value: str) -> tuple[str, int]:
+    """Parse ``HOST:PORT`` (or bare ``PORT``) into an address tuple."""
+    host, sep, port_text = value.rpartition(":")
+    if not sep:
+        host, port_text = "", value
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ReproError(f"expected HOST:PORT, got {value!r}") from None
+    return host or "127.0.0.1", port
+
+
 def _cmd_serve(args: argparse.Namespace, out) -> int:
-    from repro.service import open_session
+    from repro.service.manager import SessionManager
     from repro.service.ndjson import event_line, final_line
     from repro.workloads.traces import read_trace_jobs
 
@@ -372,23 +453,46 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
             "retain_events is fixed to false for serve (events are printed once, "
             "not retained)"
         )
-    session = open_session(
-        args.algorithm,
-        args.machines,
-        alpha=args.alpha,
-        dispatch=args.dispatch,
-        name=args.name,
-        # A serve stream may be long-lived; the CLI prints each event once,
-        # so retaining the whole decision stream would only grow memory.
-        retain_events=False,
-        **params,
-    )
+    defaults = {
+        "algorithm": args.algorithm,
+        "machines": args.machines,
+        "alpha": args.alpha,
+        "dispatch": args.dispatch,
+        "params": params,
+    }
+    manager_kwargs: dict = {"defaults": defaults}
+    if args.max_pending is not None:
+        manager_kwargs["max_pending"] = args.max_pending
+    if args.checkpoint_every is not None:
+        manager_kwargs["checkpoint_every"] = args.checkpoint_every
 
+    if args.listen is not None:
+        import asyncio
+
+        from repro.service.server import ServiceServer
+
+        host, port = _parse_host_port(args.listen)
+        if args.recover:
+            if args.checkpoint_dir is None:
+                raise ReproError("--recover requires --checkpoint-dir")
+            manager = SessionManager.recover(args.checkpoint_dir, **manager_kwargs)
+        else:
+            if args.checkpoint_dir is not None:
+                manager_kwargs["checkpoint_dir"] = args.checkpoint_dir
+            manager = SessionManager(**manager_kwargs)
+        server = ServiceServer(manager, host=host, port=port, out=out)
+        return asyncio.run(server.run())
+
+    # Stdio path: a thin single-session client of the same SessionManager the
+    # network service uses, so the two share lifecycle and error semantics.
+    manager = SessionManager(**manager_kwargs)
+    name = args.name or "serve"
+    manager.create(name)
     fmt = None if args.trace_format == "auto" else args.trace_format
     source = args.trace if args.trace and args.trace != "-" else sys.stdin
     for _, job in read_trace_jobs(source, fmt):
-        session.submit(job)
-        events = session.poll()
+        manager.submit(name, [job])
+        events = manager.poll(name)
         if events and not args.quiet:
             for event in events:
                 print(event_line(event), file=out)
@@ -396,12 +500,75 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
             # otherwise sit in the block buffer until EOF, defeating the
             # "decisions out as jobs arrive" contract for live feeds.
             out.flush()
-    outcome = session.finalize()
-    for event in session.take_events():
-        if not args.quiet:
+    row, events = manager.close(name)
+    if not args.quiet:
+        for event in events:
             print(event_line(event), file=out)
-    print(final_line(outcome.as_row()), file=out)
+    print(final_line(row), file=out)
     out.flush()
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace, out) -> int:
+    from repro.service.client import run_loadgen
+
+    params = dict(_parse_param(raw) for raw in args.param)
+    handle = None
+    if args.connect is not None:
+        host, port = _parse_host_port(args.connect)
+    else:
+        from repro.service.server import start_server_thread
+
+        handle = start_server_thread()
+        host, port = handle.host, handle.port
+    try:
+        report = run_loadgen(
+            host,
+            port,
+            sessions=args.sessions,
+            jobs=args.jobs,
+            machines=args.machines,
+            seed=args.seed,
+            alpha=args.alpha,
+            algorithm=args.algorithm,
+            dispatch=args.dispatch,
+            params=params,
+            scenarios=args.scenario,
+            chunk_size=args.chunk_size,
+            rate=args.rate,
+            verify=args.verify,
+        )
+    finally:
+        if handle is not None:
+            handle.stop()
+
+    if args.json:
+        print(canonical_json(report.as_dict()), file=out)
+    else:
+        target = args.connect or f"{host}:{port} (self-hosted)"
+        print(f"server        : {target}", file=out)
+        print(f"sessions      : {len(report.sessions)}", file=out)
+        print(f"jobs          : {report.total_jobs} total ({args.jobs}/session)", file=out)
+        print(f"decisions     : {report.total_decisions}", file=out)
+        print(f"elapsed       : {report.elapsed:.3f} s", file=out)
+        print(f"throughput    : {report.throughput_jobs_per_s:.1f} jobs/s", file=out)
+        print(f"latency p50   : {report.latency_p50_ms:.2f} ms", file=out)
+        print(f"latency p99   : {report.latency_p99_ms:.2f} ms", file=out)
+        print(f"throttled     : {report.total_throttled} submits", file=out)
+        if args.verify:
+            print(
+                f"verified      : {report.verified}/{len(report.sessions)} sessions "
+                "byte-identical to batch solve",
+                file=out,
+            )
+        columns = ["session", "scenario", "jobs", "decisions", "latency_p99_ms"]
+        rows = [
+            [r.as_dict()[col] for col in columns] for r in report.sessions
+        ]
+        print("", file=out)
+        print(format_table(headers=columns, rows=rows), file=out)
+    if args.verify and report.verified != len(report.sessions):
+        return 1
     return 0
 
 
@@ -567,6 +734,8 @@ def main(argv: list[str] | None = None, out=None, err=None) -> int:
             return _cmd_solve(args, out)
         if args.command == "serve":
             return _cmd_serve(args, out)
+        if args.command == "loadgen":
+            return _cmd_loadgen(args, out)
         if args.command == "trace":
             return _cmd_trace(args, out)
         if args.command == "campaign":

@@ -115,6 +115,32 @@ class TraceSchemaError(InvalidParameterError):
         self.field = field
 
 
+class ServiceError(ReproError):
+    """Base class for errors of the multi-session scheduling service.
+
+    Covers both sides of the wire: a server rejecting a malformed or
+    out-of-order control message, and a client surfacing an ``error``
+    response line it received.
+    """
+
+
+class ServiceProtocolError(ServiceError):
+    """A control-message line violates the service wire protocol.
+
+    Raised by :func:`repro.service.protocol.parse_request` with the 1-based
+    line number where attributable: unknown ``op``, missing required fields,
+    an unsupported protocol version, or a payload of the wrong shape.  Bare
+    job lines (no ``op`` key) are *not* protocol errors — they take the
+    backward-compatible single-session path and surface schema problems as
+    :class:`TraceSchemaError` like ``repro serve`` always has.
+    """
+
+    def __init__(self, message: str, *, lineno: "int | None" = None):
+        prefix = f"line {lineno}: " if lineno is not None else ""
+        super().__init__(prefix + message)
+        self.lineno = lineno
+
+
 class SessionStateError(ReproError):
     """A :class:`~repro.service.session.SchedulerSession` was used out of order.
 

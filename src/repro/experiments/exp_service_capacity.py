@@ -1,0 +1,148 @@
+"""E15 — service capacity: concurrent sessions × throughput × decision latency.
+
+E13 measured one streaming session against the batch facade; E14 swept
+solvers across the scenario catalog.  E15 asks the *service* question the
+multi-session subsystem exists to answer: how many concurrent tenant
+sessions can one server host, and what does concurrency do to decision
+latency — **without** ever compromising determinism?
+
+Each row boots a loopback :mod:`repro.service.server` on its own thread,
+drives ``sessions`` concurrent scenario streams through it with the
+``repro loadgen`` harness (one thread + TCP connection + named session
+each, chunked submit/poll round trips), and records:
+
+* the deterministic outcome of the scheduling itself — total decision
+  events, the summed objective value across sessions, rejected-job counts,
+  and ``verified``: how many sessions finalized **byte-identical** to the
+  batch :func:`repro.solve` of the same instance (the service's core
+  correctness claim — concurrency must never change a schedule);
+* only when ``measure_latency=True``, wall-clock service metrics: jobs/s
+  throughput and p50/p99 per-chunk decision latency.  Latency is **off by
+  default** so campaign artifacts stay byte-reproducible (same pattern as
+  E14's ``measure_throughput``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.reporting import ExperimentTable
+from repro.experiments.registry import ExperimentResult
+
+#: Default ladder of concurrent session counts (the capacity sweep).
+DEFAULT_SESSION_COUNTS = (1, 4, 16, 32)
+
+
+@dataclass
+class ServiceCapacityConfig:
+    """Sweep parameters of experiment E15."""
+
+    session_counts: tuple[int, ...] = DEFAULT_SESSION_COUNTS
+    jobs_per_session: int = 200
+    num_machines: int = 4
+    epsilon: float = 0.5
+    alpha: float = 3.0
+    seed: int = 2018
+    algorithm: str = "rejection-flow"
+    #: Catalog scenarios cycled across sessions; empty tuple = the whole catalog.
+    scenarios: tuple[str, ...] = ()
+    #: Jobs per submit round trip (must stay <= max_pending).
+    chunk_size: int = 32
+    #: Per-session offer-queue bound (the backpressure limit).
+    max_pending: int = 4096
+    #: Compare every session's final summary byte-for-byte with batch solve.
+    verify: bool = True
+    #: Wall-clock throughput/latency columns; leave off for byte-reproducible
+    #: artifacts (the campaign grids and nightly byte-stability run rely on it).
+    measure_latency: bool = False
+
+
+COLUMNS = (
+    "sessions",
+    "jobs_total",
+    "decisions",
+    "objective_sum",
+    "rejected_jobs",
+    "verified",
+    "throttled",
+    "throughput_jobs_per_s",
+    "latency_p50_ms",
+    "latency_p99_ms",
+)
+
+
+def _run_row(config: ServiceCapacityConfig, sessions: int) -> dict:
+    """One capacity row: a fresh loopback server driven by ``sessions`` streams."""
+    from repro.service.client import run_loadgen
+    from repro.service.server import start_server_thread
+
+    params = {"epsilon": config.epsilon}
+    with start_server_thread(max_pending=config.max_pending) as handle:
+        report = run_loadgen(
+            handle.host,
+            handle.port,
+            sessions=sessions,
+            jobs=config.jobs_per_session,
+            machines=config.num_machines,
+            seed=config.seed,
+            alpha=config.alpha,
+            algorithm=config.algorithm,
+            params=params,
+            scenarios=config.scenarios or None,
+            chunk_size=config.chunk_size,
+            verify=config.verify,
+        )
+    objective_sum = sum(r.final_row["objective_value"] for r in report.sessions)
+    rejected = sum(r.final_row["rejected_count"] for r in report.sessions)
+    row = {
+        "sessions": sessions,
+        "jobs_total": report.total_jobs,
+        "decisions": report.total_decisions,
+        "objective_sum": objective_sum,
+        "rejected_jobs": rejected,
+        "verified": report.verified if config.verify else "",
+        "throttled": report.total_throttled,
+    }
+    if config.measure_latency:
+        row["throughput_jobs_per_s"] = report.throughput_jobs_per_s
+        row["latency_p50_ms"] = report.latency_p50_ms
+        row["latency_p99_ms"] = report.latency_p99_ms
+    return row
+
+
+def run(config: ServiceCapacityConfig) -> ExperimentResult:
+    """Run experiment E15 and return the service-capacity table."""
+    if config.chunk_size > config.max_pending:
+        raise ValueError(
+            f"chunk_size={config.chunk_size} exceeds max_pending="
+            f"{config.max_pending}; every submission would be throttled forever"
+        )
+    rows = [_run_row(config, sessions) for sessions in config.session_counts]
+
+    table = ExperimentTable(
+        title="E15: service capacity (concurrent sessions x throughput x latency)",
+        columns=COLUMNS,
+    )
+    for row in rows:
+        table.add_row({**{c: "" for c in COLUMNS}, **row})
+    table.add_note(
+        "Each row is one loopback server instance driven by N concurrent "
+        "loadgen sessions (one thread + connection + named session each). "
+        "verified counts sessions whose final summary is byte-identical to "
+        "the batch repro.solve of the same instance. Wall-clock "
+        "throughput/latency columns appear only with measure_latency=True "
+        "so campaign artifacts stay byte-reproducible."
+    )
+    return ExperimentResult(
+        experiment_id="E15",
+        title="service capacity: concurrent sessions, throughput, decision latency",
+        tables=[table],
+        raw={
+            "algorithm": config.algorithm,
+            "session_counts": list(config.session_counts),
+            "jobs_per_session": config.jobs_per_session,
+            "chunk_size": config.chunk_size,
+            "max_pending": config.max_pending,
+            "rows": rows,
+        },
+    )

@@ -138,6 +138,12 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
             "RobustnessConfig",
             "Robustness frontier: streaming solvers across the heavy-traffic scenario catalog",
         ),
+        ExperimentSpec(
+            "E15",
+            "repro.experiments.exp_service_capacity",
+            "ServiceCapacityConfig",
+            "Service capacity: concurrent sessions x throughput x decision latency",
+        ),
     )
 }
 

@@ -8,7 +8,17 @@ This subpackage is the online-facing API of the reproduction:
   snapshot/restore checkpointing, and ``finalize()`` into the batch facade's
   :class:`~repro.solvers.outcome.SolveOutcome`;
 * :mod:`repro.service.ndjson` — the newline-delimited JSON wire format used
-  by the ``repro serve`` CLI (job lines in, decision-event lines out).
+  by the ``repro serve`` CLI (job lines in, decision-event lines out);
+* :mod:`repro.service.protocol` — the versioned control-message protocol of
+  the multi-session service (bare job lines stay the backward-compatible
+  single-session path);
+* :mod:`repro.service.manager` — :class:`SessionManager`: many named
+  concurrent sessions with lifecycle, bounded-queue backpressure,
+  checkpoint/recover crash recovery and migration;
+* :mod:`repro.service.server` — the asyncio NDJSON TCP server
+  (``repro serve --listen``) hosting one manager for many clients;
+* :mod:`repro.service.client` — the blocking reference client and the
+  ``repro loadgen`` capacity harness.
 
 The decision-event type itself
 (:class:`~repro.simulation.stepper.DecisionEvent`) lives with its emitter in
@@ -16,6 +26,16 @@ the simulation layer and is re-exported here.
 """
 
 from repro.simulation.stepper import DECISION_KINDS, DecisionEvent
+from repro.service.client import LoadgenReport, ServiceClient, run_loadgen
+from repro.service.manager import (
+    DEFAULT_MAX_PENDING,
+    HostedSession,
+    SessionManager,
+    SubmitOutcome,
+    snapshot_job_count,
+)
+from repro.service.protocol import PROTOCOL_VERSION
+from repro.service.server import ServerHandle, ServiceServer, start_server_thread
 from repro.service.session import (
     SNAPSHOT_SCHEMA_VERSION,
     SchedulerSession,
@@ -25,9 +45,21 @@ from repro.service.session import (
 
 __all__ = [
     "DECISION_KINDS",
+    "DEFAULT_MAX_PENDING",
     "DecisionEvent",
+    "HostedSession",
+    "LoadgenReport",
+    "PROTOCOL_VERSION",
     "SNAPSHOT_SCHEMA_VERSION",
     "SchedulerSession",
+    "ServerHandle",
+    "ServiceClient",
+    "ServiceServer",
+    "SessionManager",
+    "SubmitOutcome",
     "open_session",
+    "run_loadgen",
+    "snapshot_job_count",
+    "start_server_thread",
     "streaming_algorithms",
 ]

@@ -1,0 +1,448 @@
+"""Multi-session lifecycle management over :class:`SchedulerSession`.
+
+The :class:`SessionManager` is the transport-agnostic core of the scheduling
+service: it hosts many named streaming sessions — one per tenant/stream —
+and owns everything about them except the wire:
+
+* **Lifecycle.**  ``create`` → (``submit`` | ``poll`` | ``advance``)* →
+  ``close``.  A session is ``open`` until closed; ``close`` drains it,
+  finalizes into the batch facade's
+  :class:`~repro.solvers.outcome.SolveOutcome` row, and keeps the record
+  around (state ``closed``) for listing.  A session whose finalize raised is
+  ``failed`` — the *unclean* state shutdown exit codes report.
+* **Backpressure.**  Each hosted session bounds its *offer queue*: jobs
+  submitted but not yet processed by a ``poll``/``advance``/``close``.  A
+  submission that would push the queue past ``max_pending`` is refused with
+  ``accepted=False`` (the wire layer turns that into a ``throttled``
+  response) and **not** ingested — a slow consumer that never polls can
+  never grow server memory without bound.
+* **Crash recovery.**  With ``checkpoint_every=N`` the manager snapshots a
+  session's op log (:meth:`SchedulerSession.snapshot`) every N operations —
+  atomically persisted under ``checkpoint_dir`` when set.
+  :meth:`SessionManager.recover` rebuilds a manager from that directory;
+  determinism of the op-log replay makes the restored session byte-identical
+  to the one that crashed, up to its last checkpoint.  Clients re-submit
+  anything newer than the checkpoint they were last acknowledged for.
+* **Migration.**  :meth:`export_session` hands out a final snapshot and
+  releases the live session; importing it on another manager (or another
+  server instance, via the ``migrate`` op) resumes the stream exactly where
+  it left off.
+
+Everything here is synchronous and deterministic; the asyncio server in
+:mod:`repro.service.server` and the blocking stdio ``repro serve`` path are
+both thin clients of this class, so the two share error handling and
+lifecycle semantics by construction.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.exceptions import ServiceError, SessionStateError
+from repro.service.session import SchedulerSession
+from repro.simulation.job import Job
+from repro.simulation.stepper import DecisionEvent
+from repro.utils.serialization import canonical_json, stable_hash
+
+__all__ = [
+    "DEFAULT_MAX_PENDING",
+    "HostedSession",
+    "SessionManager",
+    "SubmitOutcome",
+    "snapshot_job_count",
+]
+
+#: Default bound on jobs submitted but not yet processed, per session.
+DEFAULT_MAX_PENDING = 4096
+
+#: Lifecycle states of a hosted session.
+STATES = ("open", "closed", "failed")
+
+
+@dataclass(frozen=True)
+class SubmitOutcome:
+    """Result of a submission attempt against a hosted session.
+
+    ``accepted=False`` is the backpressure refusal: nothing was ingested and
+    ``pending`` tells the caller how much unprocessed work the session is
+    already holding (poll to drain, then retry).
+    """
+
+    accepted: bool
+    count: int
+    pending: int
+    max_pending: int
+
+
+@dataclass
+class HostedSession:
+    """One named session plus the manager-side state around it."""
+
+    name: str
+    session: SchedulerSession
+    max_pending: int
+    checkpoint_every: "int | None" = None
+    state: str = "open"
+    #: Jobs submitted since the last poll/advance (the bounded offer queue).
+    pending_offers: int = 0
+    ops_since_checkpoint: int = 0
+    #: Last op-log snapshot taken (also on disk when the manager persists).
+    checkpoint: "dict | None" = None
+    final_row: "dict | None" = None
+    error: "str | None" = None
+
+    def describe(self) -> dict[str, Any]:
+        """JSON-able status row (the ``sessions`` listing)."""
+        return {
+            "session": self.name,
+            "algorithm": self.session.algorithm,
+            "dispatch": self.session.dispatch,
+            "state": self.state,
+            "submitted": self.session.num_submitted,
+            "pending": self.pending_offers,
+            "max_pending": self.max_pending,
+            "events": self.session.events_emitted,
+            "time": self.session.time,
+        }
+
+
+def snapshot_job_count(snapshot: Mapping[str, Any]) -> int:
+    """Number of jobs a :meth:`SchedulerSession.snapshot` payload replays.
+
+    Recovery clients use this to know where to resume their stream: jobs
+    submitted after the checkpoint was taken are not in the snapshot and
+    must be re-submitted.
+    """
+    return sum(
+        len(op.get("jobs", ())) for op in snapshot.get("ops", ())
+    )
+
+
+def _checkpoint_filename(name: str) -> str:
+    """A filesystem-safe, collision-free filename for a session name."""
+    safe = re.sub(r"[^A-Za-z0-9._-]", "_", name)[:48]
+    return f"{safe}-{stable_hash(name)[:10]}.json"
+
+
+class SessionManager:
+    """Host many concurrent named :class:`SchedulerSession` streams.
+
+    Parameters
+    ----------
+    defaults:
+        Session options used when ``create`` is called without explicit
+        values (and for the implicit session the bare-line compatibility
+        path creates): ``algorithm``, ``machines``, ``alpha``, ``dispatch``,
+        ``params``.
+    max_pending:
+        Default bound of the per-session offer queue (see module docstring).
+    checkpoint_every:
+        Snapshot a session's op log every N operations (``None`` disables
+        periodic checkpointing; explicit :meth:`checkpoint` always works).
+    checkpoint_dir:
+        Directory where checkpoints are persisted (atomic write-then-rename,
+        one file per session).  Enables :meth:`recover`.
+    """
+
+    def __init__(
+        self,
+        *,
+        defaults: "Mapping[str, Any] | None" = None,
+        max_pending: int = DEFAULT_MAX_PENDING,
+        checkpoint_every: "int | None" = None,
+        checkpoint_dir: "str | os.PathLike | None" = None,
+    ) -> None:
+        if max_pending <= 0:
+            raise ServiceError(f"max_pending must be positive, got {max_pending}")
+        if checkpoint_every is not None and checkpoint_every <= 0:
+            raise ServiceError(
+                f"checkpoint_every must be positive or None, got {checkpoint_every}"
+            )
+        self.defaults = dict(defaults or {})
+        self.max_pending = max_pending
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir is not None else None
+        self._sessions: dict[str, HostedSession] = {}
+
+    # -- lookup --------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._sessions
+
+    def get(self, name: str) -> "HostedSession | None":
+        return self._sessions.get(name)
+
+    def _require(self, name: str, *, open_: bool = True) -> HostedSession:
+        hosted = self._sessions.get(name)
+        if hosted is None:
+            raise SessionStateError(
+                f"no session named {name!r}; create it first "
+                f"(hosted: {sorted(self._sessions) or 'none'})"
+            )
+        if open_ and hosted.state != "open":
+            raise SessionStateError(
+                f"session {name!r} is {hosted.state}, not open"
+            )
+        return hosted
+
+    def sessions(self) -> list[dict[str, Any]]:
+        """Status rows for every hosted session, sorted by name."""
+        return [self._sessions[name].describe() for name in sorted(self._sessions)]
+
+    def open_sessions(self) -> list[str]:
+        """Names of sessions still in the ``open`` state, sorted."""
+        return sorted(n for n, h in self._sessions.items() if h.state == "open")
+
+    def unclean_sessions(self) -> list[str]:
+        """Names of sessions in the ``failed`` state, sorted."""
+        return sorted(n for n, h in self._sessions.items() if h.state == "failed")
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def create(
+        self,
+        name: str,
+        *,
+        algorithm: "str | None" = None,
+        machines: "int | Sequence | None" = None,
+        alpha: "float | None" = None,
+        dispatch: "str | None" = None,
+        params: "Mapping[str, Any] | None" = None,
+        max_pending: "int | None" = None,
+        checkpoint_every: "int | None" = None,
+    ) -> HostedSession:
+        """Create and host a new named session.
+
+        Unset options fall back to the manager's ``defaults``.  Names are
+        unique across the manager's lifetime — re-using the name of a closed
+        session is refused so checkpoint files and listing rows stay
+        unambiguous.
+        """
+        self._check_new_name(name)
+        defaults = self.defaults
+        merged_params = dict(defaults.get("params") or {})
+        merged_params.update(params or {})
+        session = SchedulerSession(
+            algorithm if algorithm is not None else defaults.get("algorithm", "rejection-flow"),
+            machines if machines is not None else defaults.get("machines", 4),
+            alpha=alpha if alpha is not None else defaults.get("alpha", 3.0),
+            dispatch=dispatch if dispatch is not None else defaults.get("dispatch"),
+            name=name,
+            # The manager's consumption point is poll(); retaining the full
+            # decision history would defeat the bounded-memory contract.
+            retain_events=False,
+            **merged_params,
+        )
+        return self._host(name, session, max_pending, checkpoint_every)
+
+    def restore(
+        self,
+        name: str,
+        snapshot: "Mapping[str, Any] | str",
+        *,
+        max_pending: "int | None" = None,
+        checkpoint_every: "int | None" = None,
+    ) -> HostedSession:
+        """Host a session rebuilt from a :meth:`SchedulerSession.snapshot`.
+
+        The restored session continues exactly where the snapshot left off
+        (deterministic op-log replay); used by crash recovery and by the
+        receiving side of a migration.
+        """
+        self._check_new_name(name)
+        session = SchedulerSession.restore(snapshot)
+        hosted = self._host(name, session, max_pending, checkpoint_every)
+        # The snapshot that rebuilt the session is its first checkpoint.
+        hosted.checkpoint = dict(snapshot) if isinstance(snapshot, Mapping) else None
+        return hosted
+
+    def _check_new_name(self, name: str) -> None:
+        if not name or not isinstance(name, str):
+            raise ServiceError("session names must be non-empty strings")
+        if name in self._sessions:
+            raise SessionStateError(
+                f"session {name!r} already exists "
+                f"(state {self._sessions[name].state}); session names are unique"
+            )
+
+    def _host(
+        self,
+        name: str,
+        session: SchedulerSession,
+        max_pending: "int | None",
+        checkpoint_every: "int | None",
+    ) -> HostedSession:
+        bound = max_pending if max_pending is not None else self.max_pending
+        if bound <= 0:
+            raise ServiceError(f"max_pending must be positive, got {bound}")
+        hosted = HostedSession(
+            name=name,
+            session=session,
+            max_pending=bound,
+            checkpoint_every=(
+                checkpoint_every if checkpoint_every is not None else self.checkpoint_every
+            ),
+        )
+        self._sessions[name] = hosted
+        return hosted
+
+    # -- operations ----------------------------------------------------------------
+
+    def submit(self, name: str, jobs: "Iterable[Job] | Any") -> SubmitOutcome:
+        """Submit jobs to a session, subject to the offer-queue bound.
+
+        ``jobs`` is an iterable of :class:`Job` or a ``JobChunk``.  Either
+        the whole batch is ingested or (when it would overflow the bound)
+        none of it — partial ingestion would make client retries ambiguous.
+        """
+        hosted = self._require(name)
+        if hasattr(jobs, "validate") and hasattr(jobs, "jobs"):
+            batch: Any = jobs
+            count = len(jobs)
+        else:
+            batch = list(jobs)
+            count = len(batch)
+        if hosted.pending_offers + count > hosted.max_pending:
+            return SubmitOutcome(
+                accepted=False,
+                count=0,
+                pending=hosted.pending_offers,
+                max_pending=hosted.max_pending,
+            )
+        ingested = hosted.session.submit_many(batch)
+        hosted.pending_offers += ingested
+        self._after_op(hosted)
+        return SubmitOutcome(
+            accepted=True,
+            count=ingested,
+            pending=hosted.pending_offers,
+            max_pending=hosted.max_pending,
+        )
+
+    def poll(self, name: str) -> list[DecisionEvent]:
+        """Process everything up to the session's ingest watermark."""
+        hosted = self._require(name)
+        events = hosted.session.poll()
+        hosted.pending_offers = 0
+        self._after_op(hosted)
+        return events
+
+    def advance(self, name: str, t: float) -> list[DecisionEvent]:
+        """Process every event up to time ``t`` (declares no earlier arrivals)."""
+        hosted = self._require(name)
+        events = hosted.session.advance_to(float(t))
+        hosted.pending_offers = 0
+        self._after_op(hosted)
+        return events
+
+    def close(self, name: str) -> tuple[dict, list[DecisionEvent]]:
+        """Drain, finalize and close a session.
+
+        Returns ``(SolveOutcome.as_row(), remaining decision events)``.  A
+        finalize failure marks the session ``failed`` (the unclean state)
+        and re-raises.
+        """
+        hosted = self._require(name)
+        try:
+            outcome = hosted.session.finalize()
+            events = hosted.session.take_events()
+        except Exception as exc:
+            hosted.state = "failed"
+            hosted.error = str(exc)
+            raise
+        hosted.state = "closed"
+        hosted.pending_offers = 0
+        hosted.final_row = outcome.as_row()
+        self._remove_checkpoint_file(name)
+        return hosted.final_row, events
+
+    def drain(self) -> list[tuple[str, "dict | None", "str | None"]]:
+        """Close every open session; never raises.
+
+        Returns ``(name, final_row | None, error | None)`` per drained
+        session, sorted by name — the shutdown path: flush each session's
+        final summary, record failures instead of aborting the drain.
+        """
+        results: list[tuple[str, "dict | None", "str | None"]] = []
+        for name in self.open_sessions():
+            try:
+                row, _ = self.close(name)
+                results.append((name, row, None))
+            except Exception as exc:  # noqa: BLE001 - drain must not abort
+                results.append((name, None, str(exc)))
+        return results
+
+    def _after_op(self, hosted: HostedSession) -> None:
+        if hosted.checkpoint_every is None:
+            return
+        hosted.ops_since_checkpoint += 1
+        if hosted.ops_since_checkpoint >= hosted.checkpoint_every:
+            self.checkpoint(hosted.name)
+
+    # -- checkpointing & migration -------------------------------------------------
+
+    def checkpoint(self, name: str) -> dict:
+        """Snapshot a session's op log now (and persist it when configured)."""
+        hosted = self._require(name)
+        snapshot = hosted.session.snapshot()
+        hosted.checkpoint = snapshot
+        hosted.ops_since_checkpoint = 0
+        if self.checkpoint_dir is not None:
+            self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+            path = self.checkpoint_dir / _checkpoint_filename(name)
+            payload = canonical_json({"session": name, "snapshot": snapshot})
+            tmp = path.with_suffix(".tmp")
+            tmp.write_text(payload + "\n", encoding="utf-8")
+            os.replace(tmp, path)
+        return snapshot
+
+    def _remove_checkpoint_file(self, name: str) -> None:
+        if self.checkpoint_dir is None:
+            return
+        path = self.checkpoint_dir / _checkpoint_filename(name)
+        if path.exists():
+            path.unlink()
+
+    @classmethod
+    def recover(
+        cls,
+        checkpoint_dir: "str | os.PathLike",
+        **kwargs: Any,
+    ) -> "SessionManager":
+        """Rebuild a manager from a checkpoint directory.
+
+        Every persisted checkpoint is restored into an open hosted session
+        (deterministic replay), so a crashed server resumes with the exact
+        session states it last persisted.  ``kwargs`` are forwarded to the
+        constructor; ``checkpoint_dir`` is set to the recovered directory so
+        subsequent checkpoints land in the same place.
+        """
+        import json as _json
+
+        manager = cls(checkpoint_dir=checkpoint_dir, **kwargs)
+        directory = Path(checkpoint_dir)
+        if not directory.is_dir():
+            return manager
+        for path in sorted(directory.glob("*.json")):
+            payload = _json.loads(path.read_text(encoding="utf-8"))
+            manager.restore(payload["session"], payload["snapshot"])
+        return manager
+
+    def export_session(self, name: str) -> dict:
+        """Snapshot a live session and release it (the migration source).
+
+        The session is removed from this manager without being finalized;
+        the returned snapshot, restored elsewhere, continues the stream.
+        """
+        hosted = self._require(name)
+        snapshot = hosted.session.snapshot()
+        del self._sessions[name]
+        self._remove_checkpoint_file(name)
+        return snapshot

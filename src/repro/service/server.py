@@ -1,0 +1,501 @@
+"""Asyncio NDJSON server hosting many concurrent scheduler sessions.
+
+``repro serve --listen HOST:PORT`` runs this server: one process, one
+:class:`~repro.service.manager.SessionManager`, many TCP client connections
+speaking the versioned control protocol of :mod:`repro.service.protocol`.
+Sessions are server-global (named, manager-owned), so they survive client
+disconnects, can be listed, snapshotted, and **migrated** to another server
+instance; a connection that speaks only bare job lines gets a private
+implicit session that behaves exactly like the blocking stdio serve.
+
+Flow control happens at two layers: the per-session bounded offer queue
+(the manager refuses over-limit submissions with a ``throttled`` line) and
+TCP itself (every response line is written through ``drain()``, so a client
+that stops reading stalls its own connection, not the server).
+
+Shutdown semantics (the contract the CLI exit code reports):
+
+* SIGINT/SIGTERM (or a client ``shutdown`` op) stop accepting connections,
+  close the open ones, then **drain** every still-open session — each is
+  finalized and its ``final`` summary line is flushed to the server's own
+  output stream;
+* the exit code is ``0`` only when every session had been cleanly closed by
+  its client before shutdown; a session that was still open (abandoned, e.g.
+  its client was killed mid-stream) or whose finalize failed makes the exit
+  code ``1`` — the sessions were *unclean* even though their summaries were
+  flushed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import sys
+import threading
+from typing import Any, Mapping
+
+from repro.exceptions import ReproError, ServiceError
+from repro.service.manager import SessionManager
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    Request,
+    decision_line,
+    error_line,
+    final_line,
+    parse_request,
+    response_line,
+)
+from repro.service.session import streaming_algorithms
+from repro.utils.serialization import canonical_json
+
+__all__ = ["ServiceServer", "ServerHandle", "start_server_thread", "MAX_LINE_BYTES"]
+
+#: Per-line read limit.  Restore ops carry whole op-log snapshots, which can
+#: be orders of magnitude larger than job or control lines.
+MAX_LINE_BYTES = 32 * 1024 * 1024
+
+
+class ServiceServer:
+    """One asyncio TCP server multiplexing sessions of one manager."""
+
+    def __init__(
+        self,
+        manager: "SessionManager | None" = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        out=None,
+    ) -> None:
+        self.manager = manager if manager is not None else SessionManager()
+        self.requested_host = host
+        self.requested_port = port
+        self.out = out if out is not None else sys.stdout
+        self.address: "tuple[str, int] | None" = None
+        self._shutdown = asyncio.Event()
+        self._shutdown_reason: "str | None" = None
+        self._server: "asyncio.AbstractServer | None" = None
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._implicit_counter = 0
+        self.exit_code: "int | None" = None
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def request_shutdown(self, reason: str = "signal") -> None:
+        """Initiate a drain-and-exit (idempotent; safe from signal handlers)."""
+        if not self._shutdown.is_set():
+            self._shutdown_reason = reason
+            self._shutdown.set()
+
+    async def run(
+        self,
+        *,
+        ready: "threading.Event | None" = None,
+        install_signal_handlers: bool = True,
+    ) -> int:
+        """Serve until shutdown is requested; return the process exit code."""
+        self._server = await asyncio.start_server(
+            self._handle_client,
+            self.requested_host,
+            self.requested_port,
+            limit=MAX_LINE_BYTES,
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.address = (sockname[0], sockname[1])
+        loop = asyncio.get_running_loop()
+        if install_signal_handlers:
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                loop.add_signal_handler(sig, self.request_shutdown, sig.name)
+        self._print(
+            response_line(
+                "listening",
+                host=self.address[0],
+                port=self.address[1],
+                protocol=PROTOCOL_VERSION,
+            )
+        )
+        if ready is not None:
+            ready.set()
+        await self._shutdown.wait()
+
+        self._server.close()
+        await self._server.wait_closed()
+        for writer in list(self._writers):
+            writer.close()
+        # Let closed connections unwind before draining the sessions.
+        await asyncio.sleep(0)
+        self.exit_code = self._drain_and_flush()
+        return self.exit_code
+
+    def _drain_and_flush(self) -> int:
+        """Drain open sessions, flush their summaries, compute the exit code."""
+        abandoned = self.manager.open_sessions()
+        for name, row, error in self.manager.drain():
+            if error is not None:
+                self._print(error_line(error, session=name, code="finalize-failed"))
+            else:
+                self._print(final_line(row, session=name))
+        failed = self.manager.unclean_sessions()
+        self._print(
+            response_line(
+                "shutdown",
+                reason=self._shutdown_reason or "requested",
+                drained=len(abandoned),
+                unclean=sorted(set(abandoned) | set(failed)),
+            )
+        )
+        return 1 if abandoned or failed else 0
+
+    def _print(self, line: str) -> None:
+        print(line, file=self.out)
+        try:
+            self.out.flush()
+        except (AttributeError, ValueError):
+            pass
+
+    # -- connection handling -------------------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        self._implicit_counter += 1
+        #: Name of this connection's bare-job-line session, created lazily.
+        implicit_name: "str | None" = None
+        implicit_slot = self._implicit_counter
+        try:
+            lineno = 0
+            while not self._shutdown.is_set():
+                try:
+                    raw = await reader.readline()
+                except (ValueError, asyncio.LimitOverrunError):
+                    await self._send(writer, [error_line("line too long", code="protocol")])
+                    break
+                if not raw:
+                    break
+                lineno += 1
+                line = raw.decode("utf-8", errors="replace").strip()
+                if not line or line.startswith("#"):
+                    continue
+                try:
+                    request = parse_request(line, lineno)
+                except ReproError as exc:
+                    await self._send(writer, [error_line(str(exc), code="protocol")])
+                    continue
+                if request.bare:
+                    if implicit_name is None:
+                        implicit_name = f"serve#{implicit_slot}"
+                        try:
+                            self.manager.create(implicit_name)
+                        except ReproError as exc:
+                            implicit_name = None
+                            await self._send(
+                                writer, [error_line(str(exc), code="create-failed")]
+                            )
+                            continue
+                    lines = self._dispatch_bare(request, implicit_name)
+                    await self._send(writer, lines)
+                    continue
+                stop_after = False
+                if request.op == "shutdown":
+                    stop_after = True
+                lines = await self._dispatch(request)
+                await self._send(writer, lines)
+                if stop_after:
+                    self.request_shutdown("shutdown-op")
+                    break
+            # EOF: a connection that streamed bare job lines gets the stdio
+            # serve ending — drain its implicit session and flush the final
+            # summary before the connection goes away.
+            if implicit_name is not None and not self._shutdown.is_set():
+                hosted = self.manager.get(implicit_name)
+                if hosted is not None and hosted.state == "open":
+                    try:
+                        row, events = self.manager.close(implicit_name)
+                        lines = [decision_line(event) for event in events]
+                        lines.append(final_line(row))
+                        await self._send(writer, lines)
+                    except ReproError as exc:
+                        await self._send(
+                            writer, [error_line(str(exc), code="finalize-failed")]
+                        )
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _send(self, writer: asyncio.StreamWriter, lines: list[str]) -> None:
+        if not lines:
+            return
+        writer.write(("\n".join(lines) + "\n").encode("utf-8"))
+        # TCP-level backpressure: a client that stops reading stalls here
+        # instead of growing the server's write buffer.
+        await writer.drain()
+
+    # -- request dispatch ----------------------------------------------------------
+
+    def _dispatch_bare(self, request: Request, session_name: str) -> list[str]:
+        """Bare job line: submit + poll on the implicit session, untagged."""
+        try:
+            outcome = self.manager.submit(session_name, request.jobs)
+            if not outcome.accepted:
+                return [
+                    response_line(
+                        "throttled",
+                        pending=outcome.pending,
+                        max_pending=outcome.max_pending,
+                    )
+                ]
+            events = self.manager.poll(session_name)
+        except ReproError as exc:
+            return [error_line(str(exc), code="session")]
+        return [decision_line(event) for event in events]
+
+    async def _dispatch(self, request: Request) -> list[str]:
+        """One control message -> its response lines (terminator last)."""
+        op, name, payload = request.op, request.session, request.payload
+        try:
+            if op == "hello":
+                return [
+                    response_line(
+                        "hello",
+                        protocol=PROTOCOL_VERSION,
+                        algorithms=streaming_algorithms(),
+                        sessions=len(self.manager),
+                    )
+                ]
+            if op == "sessions":
+                return [response_line("sessions", sessions=self.manager.sessions())]
+            if op == "create":
+                hosted = self.manager.create(
+                    name,
+                    algorithm=payload.get("algorithm"),
+                    machines=payload.get("machines"),
+                    alpha=payload.get("alpha"),
+                    dispatch=payload.get("dispatch"),
+                    params=payload.get("params"),
+                    max_pending=payload.get("max_pending"),
+                    checkpoint_every=payload.get("checkpoint_every"),
+                )
+                return [
+                    response_line(
+                        "created",
+                        name,
+                        algorithm=hosted.session.algorithm,
+                        dispatch=hosted.session.dispatch,
+                        max_pending=hosted.max_pending,
+                    )
+                ]
+            if op == "restore":
+                hosted = self.manager.restore(name, payload["snapshot"])
+                return [
+                    response_line(
+                        "created",
+                        name,
+                        algorithm=hosted.session.algorithm,
+                        dispatch=hosted.session.dispatch,
+                        max_pending=hosted.max_pending,
+                        restored=True,
+                        submitted=hosted.session.num_submitted,
+                    )
+                ]
+            if op == "submit":
+                outcome = self.manager.submit(name, request.jobs)
+                kind = "accepted" if outcome.accepted else "throttled"
+                return [
+                    response_line(
+                        kind,
+                        name,
+                        count=outcome.count,
+                        pending=outcome.pending,
+                        max_pending=outcome.max_pending,
+                    )
+                ]
+            if op == "poll":
+                events = self.manager.poll(name)
+                lines = [decision_line(event, name) for event in events]
+                lines.append(
+                    response_line(
+                        "polled",
+                        name,
+                        count=len(events),
+                        time=self.manager.get(name).session.time,
+                    )
+                )
+                return lines
+            if op == "advance":
+                events = self.manager.advance(name, payload["t"])
+                lines = [decision_line(event, name) for event in events]
+                lines.append(
+                    response_line(
+                        "advanced",
+                        name,
+                        count=len(events),
+                        time=self.manager.get(name).session.time,
+                    )
+                )
+                return lines
+            if op == "snapshot":
+                snapshot = self.manager.checkpoint(name)
+                return [response_line("snapshot", name, snapshot=snapshot)]
+            if op == "close":
+                row, events = self.manager.close(name)
+                lines = [decision_line(event, name) for event in events]
+                lines.append(final_line(row, name))
+                return lines
+            if op == "migrate":
+                return await self._migrate(name, payload["target"])
+            if op == "shutdown":
+                return [
+                    response_line(
+                        "shutdown",
+                        reason="shutdown-op",
+                        drained=0,
+                        unclean=self.manager.open_sessions(),
+                    )
+                ]
+        except ReproError as exc:
+            return [error_line(str(exc), session=name, code="session")]
+        except Exception as exc:  # noqa: BLE001 - one bad request must not kill the server
+            return [error_line(f"internal error: {exc}", session=name, code="internal")]
+        return [error_line(f"unhandled op {op!r}", code="internal")]
+
+    async def _migrate(self, name: str, target: str) -> list[str]:
+        """Move a live session to another server instance.
+
+        The session is atomically released from this manager first (no new
+        ops can interleave with the transfer), then restored on the target
+        via its ``restore`` op; on any failure it is re-hosted locally from
+        the same snapshot, so the session is never lost.
+        """
+        host, _, port_text = target.rpartition(":")
+        try:
+            port = int(port_text)
+        except ValueError:
+            return [
+                error_line(
+                    f"migrate target must be host:port, got {target!r}",
+                    session=name,
+                    code="protocol",
+                )
+            ]
+        snapshot = self.manager.export_session(name)
+        try:
+            reader, writer = await asyncio.open_connection(host, port, limit=MAX_LINE_BYTES)
+            try:
+                message = canonical_json(
+                    {"op": "restore", "session": name, "snapshot": snapshot}
+                )
+                writer.write((message + "\n").encode("utf-8"))
+                await writer.drain()
+                raw = await reader.readline()
+            finally:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionResetError, BrokenPipeError):
+                    pass
+            response = json.loads(raw.decode("utf-8")) if raw else {}
+            if response.get("event") != "created":
+                raise ServiceError(
+                    f"target refused the session: {response.get('error', 'no response')}"
+                )
+        except (OSError, ValueError, ServiceError) as exc:
+            # Self-heal: the session keeps living here.
+            self.manager.restore(name, snapshot)
+            return [
+                error_line(
+                    f"migration to {target} failed ({exc}); session restored locally",
+                    session=name,
+                    code="migrate-failed",
+                )
+            ]
+        return [response_line("migrated", name, target=target)]
+
+
+# --------------------------------------------------------------------------------------
+# Thread-hosted loopback server (tests, loadgen --self-host, E15, benches)
+# --------------------------------------------------------------------------------------
+
+
+class ServerHandle:
+    """A server running on its own thread + event loop, stoppable from outside."""
+
+    def __init__(
+        self, server: ServiceServer, thread: threading.Thread, loop: asyncio.AbstractEventLoop
+    ) -> None:
+        self.server = server
+        self._thread = thread
+        self._loop = loop
+
+    @property
+    def host(self) -> str:
+        return self.server.address[0]
+
+    @property
+    def port(self) -> int:
+        return self.server.address[1]
+
+    def stop(self, timeout: float = 30.0) -> int:
+        """Request shutdown, join the thread, return the server exit code."""
+        if self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self.server.request_shutdown, "handle-stop")
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise ServiceError("server thread did not stop within the timeout")
+        return self.server.exit_code if self.server.exit_code is not None else 0
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def start_server_thread(
+    manager: "SessionManager | None" = None,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    out=None,
+    defaults: "Mapping[str, Any] | None" = None,
+    **manager_kwargs: Any,
+) -> ServerHandle:
+    """Start a loopback server on a background thread and wait until it listens.
+
+    ``manager_kwargs`` (``max_pending``, ``checkpoint_every``,
+    ``checkpoint_dir``) build the manager when one is not supplied.  The
+    returned handle is a context manager; leaving the block drains and stops
+    the server.
+    """
+    if manager is None:
+        manager = SessionManager(defaults=defaults, **manager_kwargs)
+    if out is None:
+        import io
+
+        out = io.StringIO()
+    server = ServiceServer(manager, host=host, port=port, out=out)
+    ready = threading.Event()
+    loop = asyncio.new_event_loop()
+
+    def _main() -> None:
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(
+                server.run(ready=ready, install_signal_handlers=False)
+            )
+        finally:
+            loop.close()
+            ready.set()
+
+    thread = threading.Thread(target=_main, name="repro-service", daemon=True)
+    thread.start()
+    ready.wait(30.0)
+    if server.address is None:
+        raise ServiceError("service server failed to start (no listen address)")
+    return ServerHandle(server, thread, loop)

@@ -170,6 +170,15 @@ class SchedulerSession:
         """
         return tuple(self._events)
 
+    @property
+    def events_emitted(self) -> int:
+        """Total decision events emitted so far (consumed or still buffered).
+
+        Monotone over the session's lifetime regardless of
+        ``retain_events`` — the service layer reports it per hosted session.
+        """
+        return self._consumed_total + (len(self._events) - self._consumed)
+
     def __len__(self) -> int:
         return len(self._jobs)
 

@@ -232,11 +232,19 @@ def get_solver(algorithm_id: str) -> SolverSpec:
     return spec
 
 
-def list_algorithms() -> list[dict[str, Any]]:
-    """Stable, JSON-able capability rows for every registered solver."""
+def list_algorithms(*, streaming: "bool | None" = None) -> list[dict[str, Any]]:
+    """Stable, JSON-able capability rows for every registered solver.
+
+    ``streaming=True`` keeps only algorithms that can run as a
+    :class:`~repro.service.session.SchedulerSession` (``repro serve`` and the
+    multi-session service); ``streaming=False`` keeps only batch-only ones;
+    ``None`` (default) lists everything.
+    """
     rows = []
     for algorithm_id in sorted(available_algorithms()):
         spec = _REGISTRY[algorithm_id]
+        if streaming is not None and spec.supports_streaming != streaming:
+            continue
         rows.append(
             {
                 "algorithm": algorithm_id,

@@ -195,6 +195,7 @@ class TestGrids:
             *(f"E{i}" for i in range(1, 11)),
             "E12",
             "E14",
+            "E15",
         }
 
     def test_solvers_grid_sweeps_algorithms(self):

@@ -13,6 +13,7 @@ class TestRegistry:
             *(f"E{i}" for i in range(1, 11)),
             "E12",
             "E14",
+            "E15",
         }
 
     def test_descriptions_non_empty(self):
