@@ -18,6 +18,13 @@ Usage (what the CI ``bench`` job runs)::
     python -m benchmarks.trajectory --artifacts bench-artifacts \
         --out bench-trajectory/trajectory.ndjson \
         --commit "$GITHUB_SHA" --run "$GITHUB_RUN_NUMBER"
+
+``--report`` instead renders the accumulated trajectory as a markdown
+events/s-over-time report (per-benchmark summary plus the recent per-run
+series), which CI appends to the job summary and uploads as a PR artifact::
+
+    python -m benchmarks.trajectory --report --out trajectory.ndjson \
+        --report-out bench-report.md
 """
 
 from __future__ import annotations
@@ -80,6 +87,77 @@ def read_trajectory(trajectory_path: "str | Path") -> list[dict]:
     return rows
 
 
+def _fmt_rate(value) -> str:
+    """Human events/s: ``123.4k`` above a thousand, blank for missing."""
+    if not isinstance(value, (int, float)):
+        return "-"
+    if value >= 1000:
+        return f"{value / 1000:.1f}k"
+    return f"{value:.1f}"
+
+
+def render_report(rows: Sequence[dict], series_limit: int = 10) -> str:
+    """Render trajectory rows as a markdown events/s-over-time report.
+
+    One summary table across benchmarks (runs seen, first/latest/best
+    events/s, latest-vs-first delta) followed by a per-benchmark series of
+    the most recent ``series_limit`` runs.  Rows keep file order — the
+    append order, which is chronological — and group by ``bench``.
+    """
+    by_bench: dict[str, list[dict]] = {}
+    for row in rows:
+        if row.get("bench"):
+            by_bench.setdefault(row["bench"], []).append(row)
+    lines = ["# Benchmark trajectory", ""]
+    if not by_bench:
+        lines.append("No trajectory data yet.")
+        return "\n".join(lines) + "\n"
+
+    lines += [
+        "| bench | runs | first ev/s | latest ev/s | best ev/s | latest vs first |",
+        "|---|---|---|---|---|---|",
+    ]
+    for bench in sorted(by_bench):
+        series = by_bench[bench]
+        rates = [
+            row["events_per_sec"]
+            for row in series
+            if isinstance(row.get("events_per_sec"), (int, float))
+        ]
+        first = rates[0] if rates else None
+        latest = rates[-1] if rates else None
+        best = max(rates) if rates else None
+        delta = (
+            f"{100 * (latest - first) / first:+.1f}%"
+            if rates and first
+            else "-"
+        )
+        lines.append(
+            f"| {bench} | {len(series)} | {_fmt_rate(first)} | "
+            f"{_fmt_rate(latest)} | {_fmt_rate(best)} | {delta} |"
+        )
+
+    for bench in sorted(by_bench):
+        series = by_bench[bench][-series_limit:]
+        lines += [
+            "",
+            f"## {bench}",
+            "",
+            "| run | commit | events/s | median s | n_jobs |",
+            "|---|---|---|---|---|",
+        ]
+        for row in series:
+            commit = str(row.get("commit", ""))[:12] or "-"
+            median = row.get("median_s")
+            median_text = f"{median:.4f}" if isinstance(median, (int, float)) else "-"
+            lines.append(
+                f"| {row.get('run') or '-'} | {commit} | "
+                f"{_fmt_rate(row.get('events_per_sec'))} | {median_text} | "
+                f"{row.get('n_jobs', '-')} |"
+            )
+    return "\n".join(lines) + "\n"
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
@@ -92,7 +170,24 @@ def main(argv: Sequence[str] | None = None) -> int:
                         help="trajectory NDJSON file to append to")
     parser.add_argument("--commit", default="", help="commit SHA recorded per line")
     parser.add_argument("--run", default="", help="run identifier recorded per line")
+    parser.add_argument("--report", action="store_true",
+                        help="render the trajectory in --out as a markdown "
+                             "events/s-over-time report instead of appending")
+    parser.add_argument("--report-out", default=None, metavar="FILE",
+                        help="with --report: also write the markdown to FILE")
     args = parser.parse_args(argv)
+    if args.report:
+        path = Path(args.out)
+        if not path.is_file():
+            print(f"error: no trajectory file at {path}", file=sys.stderr)
+            return 2
+        report = render_report(read_trajectory(path))
+        if args.report_out:
+            report_path = Path(args.report_out)
+            report_path.parent.mkdir(parents=True, exist_ok=True)
+            report_path.write_text(report, encoding="utf-8")
+        print(report, end="")
+        return 0
     try:
         count = append_run(args.out, args.artifacts, commit=args.commit, run=args.run)
     except FileNotFoundError as exc:

@@ -18,6 +18,10 @@ contains:
   jobs incrementally, emits a typed decision-event stream, checkpoints via
   canonical-JSON snapshots and finalizes into the same
   :class:`~repro.solvers.outcome.SolveOutcome` as the batch facade;
+* :mod:`repro.parallel` — shard-and-merge parallel solving:
+  :func:`repro.shard_solve` partitions a job stream across ``k`` independent
+  streaming solvers on disjoint machine groups, fans them out over worker
+  processes and merges the decision streams into one combined outcome;
 * :mod:`repro.lowerbounds` — certified lower bounds on the offline optimum;
 * :mod:`repro.workloads` — synthetic workload generators, the adversarial
   constructions of Lemma 1 and Lemma 2, trace ingestion/export with
@@ -72,6 +76,10 @@ from repro.service import (
     open_session,
     streaming_algorithms,
 )
+from repro.parallel import (
+    ShardSolveResult,
+    shard_solve,
+)
 
 __version__ = "1.1.0"
 
@@ -113,7 +121,9 @@ __all__ = [
     "solve",
     "DecisionEvent",
     "SchedulerSession",
+    "ShardSolveResult",
     "open_session",
+    "shard_solve",
     "streaming_algorithms",
     "__version__",
 ]

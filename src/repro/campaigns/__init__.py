@@ -35,7 +35,12 @@ from repro.campaigns.grids import (
     available_grids,
     get_grid,
 )
-from repro.campaigns.runner import CampaignRunner, CampaignRunSummary, TaskOutcome
+from repro.campaigns.runner import (
+    CampaignRunner,
+    CampaignRunSummary,
+    TaskOutcome,
+    run_mapped,
+)
 from repro.campaigns.session_replay import (
     TRACE_SCHEMA_VERSION,
     SessionTrace,
@@ -76,6 +81,7 @@ __all__ = [
     "render_campaign_report",
     "replay_session_trace",
     "result_from_payload",
+    "run_mapped",
     "run_task",
     "summary_table",
     "table_to_csv",

@@ -16,14 +16,17 @@ the same way they compare experiment configurations.
 Shipped grids:
 
 * ``smoke``   — E1 only, one seed; used by the test suite;
-* ``small``   — all of E1–E10 + E12/E14/E15 at miniature sweep sizes, two seeds;
-  finishes in well under a minute, the acceptance grid for ``repro campaign run``;
+* ``small``   — all of E1–E10 + E12/E14/E15/E16 at miniature sweep sizes, two
+  seeds; finishes in well under a minute, the acceptance grid for
+  ``repro campaign run``;
 * ``medium``  — the experiments' default sweep sizes, three seeds; the
   campaign analogue of the benchmark harness;
 * ``solvers`` — the algorithm axis: one task per registered flow-time
   algorithm, two seeds each, aggregated into per-algorithm report rows;
 * ``e14``     — the robustness frontier on its own: every catalog scenario ×
-  every streaming solver, two seeds (the nightly byte-stability sweep).
+  every streaming solver, two seeds (a nightly byte-stability sweep);
+* ``e16``     — the partition-cost sweep on its own: every catalog scenario ×
+  shard counts {1,2,4,8}, two seeds (a nightly byte-stability sweep).
 """
 
 from __future__ import annotations
@@ -156,6 +159,12 @@ _SMALL_OVERRIDES: dict[str, dict[str, Any]] = {
         "num_machines": 2,
         "scenarios": ("heavy-tail-pareto", "flash-crowd", "multi-tenant-mix"),
     },
+    "E16": {
+        "scenarios": ("flash-crowd", "multi-tenant-mix"),
+        "shard_counts": (1, 2),
+        "num_jobs": 60,
+        "num_machines": 4,
+    },
 }
 
 #: Sweep-size caps for the ``medium`` grid where the experiment's defaults
@@ -163,6 +172,7 @@ _SMALL_OVERRIDES: dict[str, dict[str, Any]] = {
 _MEDIUM_OVERRIDES: dict[str, dict[str, Any]] = {
     "E12": {"job_counts": (1_000, 10_000, 50_000)},
     "E15": {"session_counts": (1, 4, 16), "jobs_per_session": 120},
+    "E16": {"num_jobs": 200},
 }
 
 #: Algorithms swept by the ``solvers`` grid: E10's default sweep (flow-time
@@ -184,7 +194,7 @@ GRIDS: dict[str, CampaignGrid] = {
         ),
         _grid(
             "small",
-            "all experiments E1-E10 + E12/E14/E15 at miniature scale, two seeds each",
+            "all experiments E1-E10 + E12/E14/E15/E16 at miniature scale, two seeds each",
             [
                 GridEntry.create(exp_id, overrides=overrides, num_seeds=2)
                 for exp_id, overrides in _SMALL_OVERRIDES.items()
@@ -192,7 +202,7 @@ GRIDS: dict[str, CampaignGrid] = {
         ),
         _grid(
             "medium",
-            "all experiments E1-E10 + E12/E14/E15 at their default sweep sizes, three seeds each",
+            "all experiments E1-E10 + E12/E14/E15/E16 at their default sweep sizes, three seeds each",
             [
                 GridEntry.create(
                     exp_id, overrides=_MEDIUM_OVERRIDES.get(exp_id), num_seeds=3
@@ -209,6 +219,11 @@ GRIDS: dict[str, CampaignGrid] = {
             "e14",
             "E14 robustness frontier: all scenarios x all streaming solvers, two seeds",
             [GridEntry.create("E14", overrides={"num_jobs": 150}, num_seeds=2)],
+        ),
+        _grid(
+            "e16",
+            "E16 partition cost: all scenarios x k in {1,2,4,8}, two seeds",
+            [GridEntry.create("E16", overrides={"num_jobs": 150}, num_seeds=2)],
         ),
     )
 }

@@ -11,6 +11,11 @@ The runner is deliberately simple and crash-safe:
    store never sees concurrent writers;
 4. aggregation always reads back from the store, so a fully cached re-run
    produces exactly the same report as the run that computed it.
+
+The fan-out itself (:func:`run_mapped`) is generic — timed, index-tagged,
+streaming results as workers finish — and shared with the parallel
+shard-and-merge solver (:func:`repro.parallel.shard_solve`), which maps
+per-shard solve tasks over the same pool pattern.
 """
 
 from __future__ import annotations
@@ -18,21 +23,52 @@ from __future__ import annotations
 import multiprocessing
 import time
 from dataclasses import dataclass, field
+from typing import Callable, Iterator, Sequence
 
 from repro.campaigns.store import ArtifactStore
 from repro.campaigns.tasks import CampaignTask, run_task
 from repro.exceptions import InvalidParameterError
 
 
-def _run_indexed_task(indexed: "tuple[int, CampaignTask]") -> tuple[int, dict, float]:
-    """Worker entry point: run one task, timed, tagged with its index.
+def _run_indexed(packed: "tuple[int, Callable, object]") -> tuple[int, object, float]:
+    """Worker entry point: apply ``fn`` to one item, timed, index-tagged.
 
-    Module-level so :mod:`multiprocessing` pickles it by reference.
+    Module-level so :mod:`multiprocessing` pickles it by reference; ``fn``
+    itself must also be a module-level callable for the same reason.
     """
-    index, task = indexed
+    index, fn, item = packed
     started = time.perf_counter()
-    payload = run_task(task)
-    return index, payload, time.perf_counter() - started
+    result = fn(item)
+    return index, result, time.perf_counter() - started
+
+
+def run_mapped(
+    items: Sequence, fn: Callable, workers: int = 1
+) -> Iterator[tuple[int, object, float]]:
+    """Map a picklable ``fn`` over ``items`` across worker processes.
+
+    Yields ``(index, fn(items[index]), duration_s)`` as items finish —
+    in submission order when ``workers == 1`` (everything runs in-process),
+    unordered otherwise (``imap_unordered`` streams results so the consumer
+    can persist each one the moment it lands; a crash or interrupt loses
+    only the work still in flight).  The index ties a result back to its
+    item, so callers stay order-independent.  Workers only compute; any
+    writing is the consumer's job, which keeps single-writer invariants
+    (e.g. the artifact store's) intact.
+    """
+    if workers < 1:
+        raise InvalidParameterError(f"workers must be >= 1, got {workers}")
+    if not items:
+        return
+    if workers == 1 or len(items) == 1:
+        for index, item in enumerate(items):
+            started = time.perf_counter()
+            yield index, fn(item), time.perf_counter() - started
+        return
+    with multiprocessing.Pool(processes=min(workers, len(items))) as pool:
+        yield from pool.imap_unordered(
+            _run_indexed, [(index, fn, item) for index, item in enumerate(items)]
+        )
 
 
 @dataclass(frozen=True)
@@ -121,23 +157,10 @@ class CampaignRunner:
 
     def _execute(self, pending: list[tuple[CampaignTask, str]]):
         """Yield ``(task, key, payload, duration_s)`` for every pending task."""
-        if not pending:
-            return
-        if self.workers == 1 or len(pending) == 1:
-            for task, key in pending:
-                started = time.perf_counter()
-                payload = run_task(task)
-                yield task, key, payload, time.perf_counter() - started
-            return
-        # Stream results as workers finish (imap_unordered) so every completed
-        # task is persisted immediately — a failing task or an interrupt loses
-        # only the work still in flight, and a resumed run picks up the rest.
-        with multiprocessing.Pool(processes=min(self.workers, len(pending))) as pool:
-            for index, payload, duration in pool.imap_unordered(
-                _run_indexed_task, list(enumerate(task for task, _ in pending))
-            ):
-                task, key = pending[index]
-                yield task, key, payload, duration
+        tasks = [task for task, _ in pending]
+        for index, payload, duration in run_mapped(tasks, run_task, workers=self.workers):
+            task, key = pending[index]
+            yield task, key, payload, duration
 
     @staticmethod
     def _note(progress, line: str) -> None:

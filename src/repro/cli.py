@@ -5,6 +5,7 @@ Seven subcommands cover the common workflows::
     python -m repro experiments --only E1 E2 --scale small
     python -m repro simulate --jobs 200 --machines 4 --epsilon 0.5 --policy theorem1 --gantt
     python -m repro solve --algorithm rejection-flow --param epsilon=0.5 --jobs 200
+    python -m repro shard-solve --scenario multi-tenant-mix --shards 4 --workers 4
     python -m repro serve --algorithm rejection-flow --machines 4 < jobs.ndjson
     python -m repro serve --listen 127.0.0.1:7077 --checkpoint-dir ckpt
     python -m repro loadgen --sessions 8 --jobs 500 --verify
@@ -20,6 +21,12 @@ Seven subcommands cover the common workflows::
   registry (``--list-algorithms`` enumerates them with their capability
   metadata; ``--param name=value`` passes schema-validated parameters;
   ``--json`` emits the outcome row as canonical JSON for scripted callers).
+  ``--shards K --workers N`` routes through the parallel shard-and-merge
+  solver; ``--store DIR`` persists content-addressed solve artifacts.
+* ``shard-solve`` is the parallel solver's own surface: partition a scenario,
+  trace or generated workload across K independent streaming solvers
+  (``--partition hash|tenant|round-robin``), fan them out over worker
+  processes and merge the decision streams into one combined outcome.
 * ``serve`` runs a streaming scheduler session: job rows in (stdin or
   ``--trace FILE``, NDJSON or CSV via ``--trace-format``), decision-event
   lines out as jobs arrive, and a final summary line when the stream ends.
@@ -70,6 +77,24 @@ _POLICIES = {
     "fcfs": ("fcfs", lambda args: {}),
     "immediate": ("immediate-rejection", lambda args: {"epsilon": args.epsilon}),
 }
+
+
+def _shard_source_args(sub: argparse.ArgumentParser) -> None:
+    """Parallel-solve options shared by ``solve`` and ``shard-solve``."""
+    sub.add_argument("--scenario", default=None, metavar="NAME",
+                     help="take jobs from this catalog scenario (see `repro trace "
+                          "scenarios`) instead of the random generator")
+    sub.add_argument("--trace", default=None, metavar="FILE",
+                     help="take jobs from this trace file (NDJSON / CSV) instead "
+                          "of the random generator")
+    sub.add_argument("--partition", default="hash",
+                     choices=("round-robin", "hash", "tenant"),
+                     help="how jobs are assigned to shards (default: hash)")
+    sub.add_argument("--workers", type=int, default=1,
+                     help="worker processes for the shard fan-out")
+    sub.add_argument("--dispatch", default=None,
+                     choices=("indexed", "scan", "vectorized"),
+                     help="engine dispatch mode (default: indexed, env REPRO_DISPATCH)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -125,6 +150,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="print the outcome row (SolveOutcome.as_row) as canonical JSON "
              "instead of the human-readable summary",
+    )
+    _shard_source_args(solve_cmd)
+    solve_cmd.add_argument(
+        "--shards", type=int, default=None, metavar="K",
+        help="solve with K independent parallel solvers (repro.shard_solve) "
+             "instead of one coordinator; the merged row replaces the outcome row",
+    )
+    solve_cmd.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="persist content-addressed solve artifacts under DIR; without "
+             "--shards this runs the plain solve through the artifact-writing "
+             "path (the CI shard-identity gate diffs it against --shards 1)",
+    )
+
+    shard_solve_cmd = subparsers.add_parser(
+        "shard-solve",
+        help="shard a job stream across K parallel solvers and merge the outcome",
+    )
+    shard_solve_cmd.add_argument("--algorithm", default="rejection-flow",
+                                 help="streaming-capable registry id")
+    shard_solve_cmd.add_argument(
+        "--param", action="append", default=[], metavar="NAME=VALUE",
+        help="algorithm parameter, validated against the registry schema (repeatable)",
+    )
+    shard_solve_cmd.add_argument("--jobs", type=int, default=200)
+    shard_solve_cmd.add_argument("--machines", type=int, default=4)
+    shard_solve_cmd.add_argument("--seed", type=int, default=0)
+    shard_solve_cmd.add_argument("--alpha", type=float, default=3.0,
+                                 help="power exponent of the generated machines")
+    shard_solve_cmd.add_argument("--size-distribution", default="pareto",
+                                 choices=("uniform", "exponential", "pareto", "bimodal"))
+    _shard_source_args(shard_solve_cmd)
+    shard_solve_cmd.add_argument("--shards", type=int, default=2, metavar="K",
+                                 help="number of independent parallel solvers")
+    shard_solve_cmd.add_argument("--store", default=None, metavar="DIR",
+                                 help="content-addressed artifact store directory "
+                                      "(re-runs skip already-solved shards)")
+    shard_solve_cmd.add_argument(
+        "--json", action="store_true",
+        help="print the merged outcome row as canonical JSON (byte-identical "
+             "to `solve --json` of the same workload at --shards 1)",
     )
 
     serve = subparsers.add_parser(
@@ -390,15 +456,28 @@ def _cmd_solve(args: argparse.Namespace, out) -> int:
     if args.streaming:
         raise ReproError("--streaming only filters --list-algorithms output")
 
+    if args.shards is not None or args.store is not None:
+        # Parallel / artifact-writing path: --shards K runs repro.shard_solve;
+        # --store alone runs the plain solve through solve_to_store (the pair
+        # the CI shard-identity gate byte-diffs).
+        return _cmd_shard_solve(args, out)
+
     params = dict(_parse_param(raw) for raw in args.param)
-    generator = InstanceGenerator(
-        num_machines=args.machines,
-        size_distribution=args.size_distribution,
-        alpha=args.alpha,
-        seed=args.seed,
-    )
-    instance = generator.generate(args.jobs)
-    outcome = solve(instance, args.algorithm, **params)
+    source, machines, _ = _parallel_source(args)
+    if isinstance(source, str):
+        from repro.workloads.traces import trace_instance
+
+        instance = trace_instance(source, machines=machines, alpha=args.alpha)
+    elif isinstance(source, list):
+        from repro.workloads.traces import chunks_to_instance
+
+        instance = chunks_to_instance(
+            source, machines=machines, alpha=args.alpha,
+            name=f"{args.scenario}(m={args.machines},n={args.jobs})",
+        )
+    else:
+        instance = source
+    outcome = solve(instance, args.algorithm, dispatch=args.dispatch, **params)
     if outcome.result is not None:
         validate_result(outcome.result)
 
@@ -422,6 +501,108 @@ def _cmd_solve(args: argparse.Namespace, out) -> int:
         f"{100 * outcome.rejected_weight_fraction:.1f}% of weight)",
         file=out,
     )
+    return 0
+
+
+def _parallel_source(args: argparse.Namespace):
+    """Resolve the job source shared by ``solve`` and ``shard-solve``.
+
+    Returns ``(source, machines, label)`` — ``source`` is a chunk list
+    (scenario), a trace path (str) or an :class:`Instance` (random
+    generator); ``machines`` is ``None`` for instances, which carry their
+    own fleet.
+    """
+    if args.scenario is not None and args.trace is not None:
+        raise ReproError("--scenario and --trace are mutually exclusive")
+    if args.scenario is not None:
+        from repro.workloads.scenarios import get_scenario
+
+        chunks = list(
+            get_scenario(args.scenario).job_chunks(
+                args.jobs, args.machines, seed=args.seed
+            )
+        )
+        label = (
+            f"scenario {args.scenario!r} "
+            f"(n={args.jobs}, m={args.machines}, seed={args.seed})"
+        )
+        return chunks, args.machines, label
+    if args.trace is not None:
+        return args.trace, args.machines, f"trace {args.trace}"
+    generator = InstanceGenerator(
+        num_machines=args.machines,
+        size_distribution=args.size_distribution,
+        alpha=args.alpha,
+        seed=args.seed,
+    )
+    instance = generator.generate(args.jobs)
+    return instance, None, f"instance {instance.name}"
+
+
+def _cmd_shard_solve(args: argparse.Namespace, out) -> int:
+    from repro.parallel import shard_solve, solve_to_store
+
+    params = dict(_parse_param(raw) for raw in args.param)
+    source, machines, label = _parallel_source(args)
+    if args.shards is None:
+        result = solve_to_store(
+            source,
+            args.algorithm,
+            store=args.store,
+            partition=args.partition,
+            dispatch=args.dispatch,
+            machines=machines,
+            alpha=args.alpha,
+            **params,
+        )
+    else:
+        result = shard_solve(
+            source,
+            args.algorithm,
+            args.shards,
+            partition=args.partition,
+            workers=args.workers,
+            dispatch=args.dispatch,
+            store=args.store,
+            machines=machines,
+            alpha=args.alpha,
+            **params,
+        )
+    if args.json:
+        # Same canonical-JSON row contract as `solve --json`: at --shards 1
+        # the two outputs are byte-identical.
+        print(canonical_json(result.row), file=out)
+        return 0
+
+    row = result.row
+    print(f"source        : {label}", file=out)
+    print(f"algorithm     : {row['algorithm']} (model {row['model']})", file=out)
+    print(
+        f"shards        : {result.num_shards} [{result.partition}], "
+        f"{result.workers} worker(s)",
+        file=out,
+    )
+    print(f"objective     : {row['objective']} = {row['objective_value']:.3f}", file=out)
+    if result.num_shards > 1:
+        per_shard = ", ".join(f"{value:.3f}" for value in result.shard_objectives)
+        print(f"  per shard             : {per_shard}", file=out)
+    for component, value in sorted(row.items()):
+        if component.startswith("breakdown_"):
+            print(f"  {component[len('breakdown_'):]:22s}: {value:.3f}", file=out)
+    print(
+        f"rejected      : {row['rejected_count']} jobs "
+        f"({100 * row['rejected_fraction']:.1f}%, "
+        f"{100 * row['rejected_weight_fraction']:.1f}% of weight)",
+        file=out,
+    )
+    hits = sum(1 for hit in result.cached if hit)
+    print(
+        f"cache         : {hits}/{result.num_shards} shard(s) cached, merged "
+        f"{'cached' if result.merged_cached else 'computed'}",
+        file=out,
+    )
+    if result.store_root is not None:
+        print(f"store         : {result.store_root} [{result.merged_key}]", file=out)
     return 0
 
 
@@ -732,6 +913,8 @@ def main(argv: list[str] | None = None, out=None, err=None) -> int:
             return _cmd_simulate(args, out)
         if args.command == "solve":
             return _cmd_solve(args, out)
+        if args.command == "shard-solve":
+            return _cmd_shard_solve(args, out)
         if args.command == "serve":
             return _cmd_serve(args, out)
         if args.command == "loadgen":

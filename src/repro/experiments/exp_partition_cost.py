@@ -1,0 +1,153 @@
+"""E16 — the price of partitioned online scheduling.
+
+The paper's competitive guarantees assume one coordinator that sees every
+arrival and owns every machine.  E16 measures what sharding that coordinator
+costs: each (scenario × k) cell solves the scenario's job stream with
+:func:`repro.parallel.shard_solve` — ``k`` independent streaming solvers,
+each owning a strided ``1/k`` slice of the fleet and the sub-stream the
+partition assigns it — and reports the merged objective's **ratio vs the
+single coordinator** (``k == 1``, which is byte-identical to plain
+:func:`repro.solve`).
+
+The ratio isolates pure coordination loss: every shard runs the same
+algorithm with the same parameters, so anything above 1.0 is the price of
+not seeing the other shards' jobs and machines.  ``k == 1`` rows anchor each
+scenario at exactly 1.0.
+
+Throughput (events/s over the whole sharded solve) is off by default for the
+usual reason: campaign artifacts must stay byte-reproducible, and E16 is in
+the small/medium grids plus the nightly byte-stability double-run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.analysis.reporting import ExperimentTable
+from repro.experiments.registry import ExperimentResult
+from repro.parallel import shard_solve
+from repro.workloads.scenarios import SCENARIOS, get_scenario
+
+#: All catalog scenarios, in reporting order (the default sweep).
+ALL_SCENARIOS = tuple(SCENARIOS)
+
+
+@dataclass
+class PartitionCostConfig:
+    """Sweep parameters of experiment E16."""
+
+    scenarios: tuple[str, ...] = ALL_SCENARIOS
+    #: Shard counts to sweep; must include 1 for the ratio anchor.
+    shard_counts: tuple[int, ...] = (1, 2, 4, 8)
+    partition: str = "hash"
+    algorithm: str = "rejection-flow"
+    num_jobs: int = 400
+    num_machines: int = 8
+    epsilon: float = 0.5
+    alpha: float = 3.0
+    seed: int = 2018
+    #: Worker processes for the per-cell shard fan-out.
+    workers: int = 1
+    #: Wall-clock events/s per cell; leave off for byte-reproducible artifacts.
+    measure_throughput: bool = False
+
+
+COLUMNS = (
+    "scenario",
+    "k",
+    "partition",
+    "objective_value",
+    "ratio_vs_single",
+    "rejected_fraction",
+    "events",
+    "events_per_s",
+)
+
+
+def run(config: PartitionCostConfig) -> ExperimentResult:
+    """Run experiment E16 and return the partition-cost table."""
+    if not config.shard_counts:
+        raise ValueError("shard_counts must be non-empty")
+    cells: list[dict] = []
+    for scenario_name in config.scenarios:
+        scenario = get_scenario(scenario_name)
+        chunks = list(
+            scenario.job_chunks(
+                config.num_jobs, config.num_machines, seed=config.seed
+            )
+        )
+        for k in sorted(set(config.shard_counts)):
+            start = time.perf_counter()
+            result = shard_solve(
+                chunks,
+                config.algorithm,
+                k,
+                partition=config.partition,
+                workers=config.workers,
+                machines=config.num_machines,
+                alpha=config.alpha,
+                epsilon=config.epsilon,
+            )
+            elapsed = time.perf_counter() - start
+            cells.append(
+                {
+                    "scenario": scenario_name,
+                    "k": k,
+                    "partition": config.partition,
+                    "objective_value": result.objective_value,
+                    "rejected_fraction": result.row["rejected_fraction"],
+                    "events": int(result.payload["engine_events"]),
+                    "elapsed_s": elapsed,
+                }
+            )
+
+    # Ratio vs the single-coordinator (k=1) solve of the same scenario.
+    single: dict[str, float] = {
+        cell["scenario"]: cell["objective_value"]
+        for cell in cells
+        if cell["k"] == 1
+    }
+    for cell in cells:
+        anchor = single.get(cell["scenario"])
+        cell["ratio_vs_single"] = (
+            cell["objective_value"] / anchor if anchor else float("nan")
+        )
+
+    table = ExperimentTable(
+        title="E16: partition cost (k-sharded vs single coordinator)",
+        columns=COLUMNS,
+    )
+    raw: dict = {
+        "scenarios": list(config.scenarios),
+        "shard_counts": sorted(set(config.shard_counts)),
+        "partition": config.partition,
+        "algorithm": config.algorithm,
+        "rows": [],
+    }
+    for cell in cells:
+        events_per_s = (
+            cell["events"] / cell["elapsed_s"]
+            if config.measure_throughput and cell["elapsed_s"] > 0
+            else ""
+        )
+        table.add_row({**{c: cell.get(c, "") for c in COLUMNS},
+                       "events_per_s": events_per_s})
+        row = {k: v for k, v in cell.items() if k != "elapsed_s"}
+        if config.measure_throughput:
+            row["events_per_s"] = events_per_s
+        raw["rows"].append(row)
+
+    table.add_note(
+        "ratio_vs_single is the merged k-shard objective over the k=1 objective "
+        "on the same scenario (1.0 = no coordination loss; k=1 rows anchor at "
+        "exactly 1.0). events is the deterministic simulator event count summed "
+        "over shards. Wall-clock events/s appears only with "
+        "measure_throughput=True so campaign artifacts stay byte-reproducible."
+    )
+    return ExperimentResult(
+        experiment_id="E16",
+        title="the price of partitioned online scheduling",
+        tables=[table],
+        raw=raw,
+    )

@@ -144,6 +144,12 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
             "ServiceCapacityConfig",
             "Service capacity: concurrent sessions x throughput x decision latency",
         ),
+        ExperimentSpec(
+            "E16",
+            "repro.experiments.exp_partition_cost",
+            "PartitionCostConfig",
+            "Partition cost: k-sharded parallel solving vs the single coordinator",
+        ),
     )
 }
 

@@ -1,0 +1,53 @@
+"""Shard-and-merge parallel solving over worker processes.
+
+The paper's online model assumes one coordinator sees every arrival.  This
+package asks — and answers operationally — what happens when it doesn't:
+:func:`shard_solve` partitions a job stream across ``k`` independent
+streaming solvers (each owning a disjoint machine group), fans them out over
+worker processes via the campaign runner's pool, persists per-shard decision
+streams content-addressed (resumable re-runs), and merges them time-ordered
+into one combined outcome.  E16 (``exp_partition_cost``) measures the
+objective price of that partitioning across the scenario catalog.
+
+Layering: sits above :mod:`repro.workloads` (shard/merge transforms),
+:mod:`repro.service` (streaming sessions) and :mod:`repro.campaigns`
+(fan-out + artifact store); below the CLI (``repro shard-solve``) and the
+experiments that consume it.
+
+Determinism contract — see :mod:`repro.parallel.solve`.
+"""
+
+from repro.parallel.partition import (
+    machine_groups,
+    normalise_source,
+    restrict_chunk,
+    source_fingerprint,
+)
+from repro.parallel.solve import (
+    ShardSolveResult,
+    merge_decision_streams,
+    shard_solve,
+    solve_to_store,
+)
+from repro.parallel.tasks import (
+    PARALLEL_SCHEMA_VERSION,
+    ShardTask,
+    artifact_keys,
+    run_shard_task,
+    shard_payload,
+)
+
+__all__ = [
+    "PARALLEL_SCHEMA_VERSION",
+    "ShardSolveResult",
+    "ShardTask",
+    "artifact_keys",
+    "machine_groups",
+    "merge_decision_streams",
+    "normalise_source",
+    "restrict_chunk",
+    "run_shard_task",
+    "shard_payload",
+    "shard_solve",
+    "solve_to_store",
+]

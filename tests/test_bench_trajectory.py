@@ -11,6 +11,7 @@ from benchmarks.trajectory import (
     append_run,
     main,
     read_trajectory,
+    render_report,
     trajectory_line,
 )
 from repro.benchmarking import SPECS, artifact_path, run_benchmarks
@@ -61,6 +62,88 @@ class TestTrajectory:
                      str(tmp_path / "t.ndjson")])
         assert code == 2
         assert "error:" in capsys.readouterr().err
+
+
+def _synthetic_line(bench: str, run: int, rate: float) -> str:
+    return json.dumps({
+        "bench": bench, "commit": f"c{run:07d}deadbeef", "run": str(run),
+        "events_per_sec": rate, "median_s": 100.0 / rate, "n_jobs": 500,
+        "fingerprint": "f", "peak_rss_bytes": 1 << 20,
+    })
+
+
+class TestTrajectoryReport:
+    def test_report_summarises_synthetic_trajectory(self, tmp_path):
+        path = tmp_path / "trajectory.ndjson"
+        lines = [_synthetic_line("alpha", run, 1000.0 * (run + 1))
+                 for run in range(3)]
+        lines += [_synthetic_line("beta", run, 50.0) for run in range(2)]
+        path.write_text("\n".join(lines) + "\n")
+        report = render_report(read_trajectory(path))
+        # Summary: first 1.0k -> latest 3.0k is +200%; beta stays flat.
+        assert "| alpha | 3 | 1.0k | 3.0k | 3.0k | +200.0% |" in report
+        assert "| beta | 2 | 50.0 | 50.0 | 50.0 | +0.0% |" in report
+        # Per-bench series sections carry run, truncated commit and rate.
+        assert "## alpha" in report and "## beta" in report
+        assert "| 2 | c0000002dead | 3.0k |" in report
+
+    def test_report_limits_series_to_recent_runs(self):
+        rows = [json.loads(_synthetic_line("long", run, 100.0))
+                for run in range(25)]
+        report = render_report(rows, series_limit=10)
+        section = report.split("## long", 1)[1]
+        assert "| 24 |" in section and "| 14 |" not in section
+        # The summary still counts every run and keeps the true first rate.
+        assert "| long | 25 |" in report
+
+    def test_report_tolerates_missing_measurements(self):
+        rows = [{"bench": "gappy", "run": "1", "commit": ""},
+                json.loads(_synthetic_line("gappy", 2, 10.0))]
+        report = render_report(rows)
+        assert "| 1 | - | - | - | - |" in report
+
+    def test_empty_trajectory_renders_placeholder(self):
+        assert "No trajectory data yet." in render_report([])
+
+    def test_cli_report_writes_markdown_and_prints(self, tmp_path, capsys):
+        path = tmp_path / "trajectory.ndjson"
+        path.write_text(_synthetic_line("alpha", 1, 2000.0) + "\n")
+        report_out = tmp_path / "nested" / "report.md"
+        code = main(["--report", "--out", str(path),
+                     "--report-out", str(report_out)])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert printed.startswith("# Benchmark trajectory")
+        assert report_out.read_text() == printed
+
+    def test_cli_report_missing_trajectory_exits_2(self, tmp_path, capsys):
+        code = main(["--report", "--out", str(tmp_path / "absent.ndjson")])
+        assert code == 2
+        assert "no trajectory file" in capsys.readouterr().err
+
+
+class TestE16Bench:
+    def test_registered_and_quick(self):
+        spec = SPECS["e16_partition"]
+        assert spec.quick, "e16_partition must run in the per-PR CI subset"
+
+    def test_runs_at_tiny_scale(self, tmp_path):
+        results = run_benchmarks(
+            tmp_path, only=["e16_partition"], repeats=1, scale=0.02
+        )
+        (result,) = results
+        assert result["events"] > 0
+        assert result["events_per_sec"] > 0
+        assert result["meta"]["path"] == "shard-solve"
+        assert result["meta"]["workers"] == 4
+
+    def test_checked_in_baseline_matches_current_fingerprint(self):
+        from pathlib import Path
+
+        baseline = Path(__file__).resolve().parents[1] / "benchmarks" / "baselines"
+        payload = json.loads(artifact_path(baseline, "e16_partition").read_text())
+        case = SPECS["e16_partition"].build(1.0)
+        assert payload["fingerprint"] == case.fingerprint
 
 
 class TestE14Bench:

@@ -196,6 +196,7 @@ class TestGrids:
             "E12",
             "E14",
             "E15",
+            "E16",
         }
 
     def test_solvers_grid_sweeps_algorithms(self):

@@ -14,6 +14,7 @@ class TestRegistry:
             "E12",
             "E14",
             "E15",
+            "E16",
         }
 
     def test_descriptions_non_empty(self):

@@ -412,6 +412,82 @@ class TestTransforms:
 
 
 # --------------------------------------------------------------------------------------
+# Shard partition stability and the shard -> merge lossless inverse
+# --------------------------------------------------------------------------------------
+
+
+def _ndjson(chunks) -> str:
+    buf = io.StringIO()
+    write_ndjson_trace(chunks, buf)
+    return buf.getvalue()
+
+
+class TestShardRoundTrip:
+    def test_hash_shard_membership_stable_across_chunk_sizes(self):
+        # Hash (and tenant) sharding keys on the job's effective id, never on
+        # chunk boundaries: re-chunking the same trace must yield the same
+        # shards job for job.  (Round-robin keys on stream position, which is
+        # also chunking-independent; it is covered by the round trip below.)
+        instance = InstanceGenerator(num_machines=2, seed=7).generate(60)
+        for mode in ("hash", "tenant"):
+            for index in range(3):
+                fine = shard(_chunks(instance, chunk_size=7), 3, index,
+                             mode=mode, keep_ids=True)
+                coarse = shard(_chunks(instance, chunk_size=64), 3, index,
+                               mode=mode, keep_ids=True)
+                assert _ndjson(fine) == _ndjson(coarse), (mode, index)
+
+    def test_hash_shard_is_a_pure_function_of_the_id(self):
+        # Truncating one shard's input must not reassign jobs in another:
+        # membership depends only on the id, so a job keeps its shard even
+        # when the surrounding stream changes.
+        instance = InstanceGenerator(num_machines=2, seed=11).generate(40)
+        full = _ndjson(shard(_chunks(instance), 2, 0, mode="hash", keep_ids=True))
+        prefix = chunks_to_instance(
+            truncate(_chunks(instance), max_jobs=25), machines=2
+        )
+        partial = _ndjson(shard(_chunks(prefix), 2, 0, mode="hash", keep_ids=True))
+        assert full.startswith(partial)
+
+    @pytest.mark.parametrize("scenario_name", sorted(SCENARIOS))
+    @pytest.mark.parametrize("mode", ["round-robin", "hash", "tenant"])
+    def test_merge_of_shards_round_trips_byte_identically(self, scenario_name, mode):
+        # The documented inverse: merge(shard(t, k, i, keep_ids=True) for i)
+        # under id tie-break reproduces the original trace byte for byte —
+        # for every catalog scenario, including flash-crowd's release-tie
+        # bursts and multi-tenant-mix's weight classes.
+        chunks = list(
+            get_scenario(scenario_name).job_chunks(48, 2, seed=2018)
+        )
+        original = _ndjson(chunks)
+        for num_shards in (1, 3):
+            shards = [
+                shard(iter(chunks), num_shards, index, mode=mode, keep_ids=True)
+                for index in range(num_shards)
+            ]
+            merged = merge(*shards, tie_break="id")
+            assert _ndjson(merged) == original, (scenario_name, mode, num_shards)
+
+    def test_tenant_mode_keeps_weight_classes_together(self):
+        chunks = list(get_scenario("multi-tenant-mix").job_chunks(60, 2, seed=3))
+        weights = [
+            {job.weight for c in shard(iter(chunks), 2, index, mode="tenant")
+             for job in c.jobs()}
+            for index in range(2)
+        ]
+        assert not (weights[0] & weights[1])
+        all_weights = {job.weight for c in chunks for job in c.jobs()}
+        assert weights[0] | weights[1] == all_weights
+
+    def test_unknown_mode_and_tie_break_rejected(self):
+        instance = InstanceGenerator(num_machines=2, seed=1).generate(5)
+        with pytest.raises(InvalidParameterError):
+            list(shard(_chunks(instance), 2, 0, mode="alphabetical"))
+        with pytest.raises(InvalidParameterError):
+            list(merge(_chunks(instance), tie_break="coin-flip"))
+
+
+# --------------------------------------------------------------------------------------
 # JobChunk ids column
 # --------------------------------------------------------------------------------------
 
