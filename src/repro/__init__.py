@@ -26,8 +26,11 @@ contains:
 * :mod:`repro.workloads` — synthetic workload generators, the adversarial
   constructions of Lemma 1 and Lemma 2, trace ingestion/export with
   deterministic transforms and the named heavy-traffic scenario catalog;
+* :mod:`repro.adaptive` — the algorithm-switching meta-scheduler: windowed
+  load telemetry over the decision-event stream, pluggable switch policies
+  and the hot-switchable ``meta`` solver/session (experiment E17);
 * :mod:`repro.analysis` — competitive-ratio estimation and report tables;
-* :mod:`repro.experiments` — the experiment suite (E1-E14) that plays the
+* :mod:`repro.experiments` — the experiment suite (E1-E17) that plays the
   role of the paper's tables and figures.
 
 Quickstart

@@ -1,0 +1,209 @@
+"""Windowed load-telemetry monitor for the adaptive meta-scheduler.
+
+The monitor ingests the engine's decision stream (one
+:class:`~repro.simulation.stepper.DecisionEvent` per dispatch / start /
+complete / reject) plus one :meth:`LoadMonitor.on_arrival` call per released
+job, and maintains sliding-window load statistics with O(1) (amortised)
+per-event updates:
+
+* **arrival rate** — arrivals per unit time over the last ``window``
+  releases;
+* **tail index** — a moment-based Pareto-shape estimate over the last
+  ``window`` job sizes: with ``SCV`` the squared coefficient of variation
+  (``var/mean^2``), ``alpha_hat = 1 + sqrt(1 + 1/SCV)`` — exactly the shape
+  of a Pareto law with that SCV for ``alpha > 2``, saturating at 2 from
+  above as the empirical tail gets heavier (infinite-variance territory).
+  *Small* values mean *heavy* tails; the statistic is scale-invariant, so
+  the generators' load-rescaling of sizes doesn't move it;
+* **backlog** — jobs in flight (released minus completed minus rejected),
+  a lifetime counter, not windowed;
+* **rejection rate** — rejected fraction of the last ``window`` terminal
+  (complete/reject) events;
+* **mean flow** — mean flow time of the last ``window`` terminal events
+  (a rejected job's flow counts up to its rejection, the objective's own
+  convention).
+
+Every statistic is a pure function of the event-sequence prefix — no clocks,
+no randomness — so a monitor replayed over the same stream reproduces the
+same values bit-for-bit, which is what keeps the meta-scheduler's switch
+decisions byte-reproducible across dispatch modes and snapshot/restore.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import NamedTuple
+
+from repro.simulation.job import Job
+from repro.simulation.stepper import DecisionEvent
+
+__all__ = ["LoadMonitor", "TelemetrySnapshot"]
+
+#: Below this squared coefficient of variation the size window is treated as
+#: degenerate (all sizes equal): no tail evidence, the estimate is ``inf``.
+_MIN_SCV = 1e-9
+
+
+class TelemetrySnapshot(NamedTuple):
+    """One consistent view of the monitor's statistics (JSON-friendly)."""
+
+    arrivals: int
+    completed: int
+    rejected: int
+    backlog: int
+    arrival_rate: float
+    tail_index: float
+    rejection_rate: float
+    mean_flow: float
+    last_event_time: float
+
+    def as_dict(self) -> dict:
+        """Plain-dict view, canonical field order.
+
+        Non-finite floats (the tail index is ``inf`` until two sizes have
+        been seen) become ``None`` so the payload stays strict JSON on the
+        service wire.
+        """
+        return {
+            name: (None if isinstance(value, float) and not math.isfinite(value) else value)
+            for name, value in self._asdict().items()
+        }
+
+
+class LoadMonitor:
+    """Sliding-window load statistics over one simulation run.
+
+    Parameters
+    ----------
+    window:
+        Number of recent samples each windowed statistic covers (arrival
+        times, log sizes, terminal events).  Small windows react faster;
+        large windows are smoother.
+    """
+
+    def __init__(self, window: int = 64) -> None:
+        if window < 2:
+            raise ValueError(f"monitor window must be >= 2, got {window}")
+        self.window = window
+        # Arrival-time window (rate) and size window (tail index).
+        self._arrival_times: deque[float] = deque(maxlen=window)
+        self._sizes: deque[float] = deque(maxlen=window)
+        self._size_sum = 0.0
+        self._size_sq_sum = 0.0
+        # Lifetime counters.
+        self.arrivals = 0
+        self.completed = 0
+        self.rejected = 0
+        self.last_event_time = 0.0
+        # Terminal-event window (rejection rate + mean flow).
+        self._terminal: deque[tuple[int, float]] = deque(maxlen=window)
+        self._terminal_rejected = 0
+        self._terminal_flow = 0.0
+        #: Release time per in-flight job, popped on its terminal event.
+        self._release: dict[int, float] = {}
+
+    # -- ingestion -----------------------------------------------------------------
+
+    def on_arrival(self, t: float, job: Job) -> None:
+        """Record a released job (called once per ``on_arrival`` delegation)."""
+        self.arrivals += 1
+        self._arrival_times.append(t)
+        self._release[job.id] = job.release
+
+        size = min(s for s in job.sizes if not math.isinf(s))
+        if len(self._sizes) == self.window:
+            old = self._sizes[0]
+            self._size_sum -= old
+            self._size_sq_sum -= old * old
+        self._sizes.append(size)
+        self._size_sum += size
+        self._size_sq_sum += size * size
+
+    def observe(self, event: DecisionEvent) -> None:
+        """Ingest one engine decision event (the stepper's observer hook)."""
+        if event.time > self.last_event_time:
+            self.last_event_time = event.time
+        kind = event.kind
+        if kind == "complete":
+            self.completed += 1
+            self._record_terminal(event, rejected=False)
+        elif kind == "reject":
+            self.rejected += 1
+            self._record_terminal(event, rejected=True)
+
+    def _record_terminal(self, event: DecisionEvent, rejected: bool) -> None:
+        release = self._release.pop(event.job_id, event.time)
+        flow = event.time - release
+        terminal = self._terminal
+        if len(terminal) == terminal.maxlen:
+            old_rejected, old_flow = terminal[0]
+            self._terminal_rejected -= old_rejected
+            self._terminal_flow -= old_flow
+        terminal.append((1 if rejected else 0, flow))
+        self._terminal_rejected += 1 if rejected else 0
+        self._terminal_flow += flow
+
+    # -- statistics ----------------------------------------------------------------
+
+    @property
+    def backlog(self) -> int:
+        """Jobs in flight: released but neither completed nor rejected."""
+        return self.arrivals - self.completed - self.rejected
+
+    def arrival_rate(self) -> float:
+        """Arrivals per unit time over the arrival-time window (0 when flat)."""
+        times = self._arrival_times
+        if len(times) < 2:
+            return 0.0
+        span = times[-1] - times[0]
+        if span <= 0.0:
+            return 0.0
+        return (len(times) - 1) / span
+
+    def tail_index(self) -> float:
+        """Moment-based Pareto-shape estimate over the size window (small = heavy).
+
+        ``1 + sqrt(1 + 1/SCV)`` with ``SCV = var/mean^2``: equals the shape of
+        a Pareto law with that SCV for shapes above 2 and saturates at 2 from
+        above for heavier (infinite-variance) tails.  Returns ``inf`` until
+        two sizes have been seen, or while the window is degenerate (all
+        sizes equal) — no tail evidence yet.
+        """
+        n = len(self._sizes)
+        if n < 2:
+            return math.inf
+        mean = self._size_sum / n
+        if mean <= 0.0:
+            return math.inf
+        variance = max(self._size_sq_sum / n - mean * mean, 0.0)
+        scv = variance / (mean * mean)
+        if scv <= _MIN_SCV:
+            return math.inf
+        return 1.0 + math.sqrt(1.0 + 1.0 / scv)
+
+    def rejection_rate(self) -> float:
+        """Rejected fraction of the last ``window`` terminal events."""
+        if not self._terminal:
+            return 0.0
+        return self._terminal_rejected / len(self._terminal)
+
+    def mean_flow(self) -> float:
+        """Mean flow time of the last ``window`` terminal events (0 when none)."""
+        if not self._terminal:
+            return 0.0
+        return self._terminal_flow / len(self._terminal)
+
+    def snapshot(self) -> TelemetrySnapshot:
+        """One consistent view of every statistic."""
+        return TelemetrySnapshot(
+            arrivals=self.arrivals,
+            completed=self.completed,
+            rejected=self.rejected,
+            backlog=self.backlog,
+            arrival_rate=self.arrival_rate(),
+            tail_index=self.tail_index(),
+            rejection_rate=self.rejection_rate(),
+            mean_flow=self.mean_flow(),
+            last_event_time=self.last_event_time,
+        )

@@ -1,0 +1,304 @@
+"""Switch policies: when should the meta-scheduler change algorithm?
+
+A switch policy looks at the :class:`~repro.adaptive.monitor.LoadMonitor`
+once per arrival and answers "which candidate should be active?" — ``None``
+for "stay put".  Two families ship:
+
+* :class:`ThresholdSwitchPolicy` — regime classification by backlog
+  high/low-water marks and the size tail index, with a confirmation streak
+  (the regime must persist for ``confirm`` consecutive arrivals) on top of
+  the shared cooldown, so transient spikes don't cause thrashing;
+* :class:`BanditSwitchPolicy` — a deterministic bandit-style scorer: each
+  candidate accumulates a cost estimate (exponential moving average of the
+  monitor's windowed mean flow while it was active); unplayed candidates are
+  explored in declaration order, then the policy switches whenever another
+  candidate's estimate undercuts the active one by a relative ``margin``.
+
+Both are pure functions of the arrival-indexed observation sequence — no
+clocks, no randomness — which keeps the meta solver byte-reproducible.
+Hysteresis lives in the shared base class: after any switch (including
+forced plan switches) a policy stays quiet for ``cooldown`` arrivals.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from repro.adaptive.monitor import LoadMonitor
+from repro.exceptions import InvalidParameterError
+from repro.solvers.registry import get_solver
+
+__all__ = [
+    "SwitchPolicy",
+    "ThresholdSwitchPolicy",
+    "BanditSwitchPolicy",
+    "make_switch_policy",
+]
+
+
+class SwitchPolicy(ABC):
+    """Shared cooldown/hysteresis scaffolding of the switch-policy families."""
+
+    def __init__(self, candidates: Sequence[str], cooldown: int = 32) -> None:
+        if not candidates:
+            raise InvalidParameterError("switch policy needs at least one candidate")
+        if cooldown < 1:
+            raise InvalidParameterError(f"cooldown must be >= 1, got {cooldown}")
+        self.candidates = tuple(candidates)
+        self.cooldown = cooldown
+        self._last_switch = -cooldown  # ready immediately
+
+    def reset(self, num_machines: int) -> None:
+        """Prepare for a fresh run over a fleet of ``num_machines``."""
+        self.num_machines = max(1, num_machines)
+        self._last_switch = -self.cooldown
+
+    def ready(self, arrival_index: int) -> bool:
+        """Whether the cooldown since the last switch has elapsed."""
+        return arrival_index - self._last_switch >= self.cooldown
+
+    def record_switch(self, arrival_index: int, algorithm: str) -> None:
+        """Note a switch (the policy's own or a forced plan switch)."""
+        self._last_switch = arrival_index
+
+    @abstractmethod
+    def decide(self, monitor: LoadMonitor, current: str, arrival_index: int) -> str | None:
+        """The candidate to switch to before this arrival, or ``None``."""
+
+
+def _partition_candidates(candidates: Sequence[str]) -> tuple[str, str, str]:
+    """``(calm, shed_light, shed_heavy)`` candidates for the regime map.
+
+    Calm traffic wants a rejection-free policy (rejections only cost
+    objective there); overload wants a rejecting one.  Among the rejecting
+    candidates the *declaration order* is the convention: immediate/cheap
+    shedders first, hindsight-robust shedders last — ``shed_light`` is the
+    first rejecting candidate (moderate overload, light tails) and
+    ``shed_heavy`` the last (heavy tails / saturation, where victims picked
+    in hindsight pay off).  Each role falls back to the first candidate when
+    the portfolio has no policy of that kind.
+    """
+    rejecting = [c for c in candidates if get_solver(c).supports_rejection]
+    calm = next(
+        (c for c in candidates if not get_solver(c).supports_rejection), candidates[0]
+    )
+    shed_light = rejecting[0] if rejecting else candidates[0]
+    shed_heavy = rejecting[-1] if rejecting else candidates[0]
+    return calm, shed_light, shed_heavy
+
+
+class ThresholdSwitchPolicy(SwitchPolicy):
+    """Backlog/tail threshold rules with confirmation-streak hysteresis.
+
+    Parameters
+    ----------
+    high_water / low_water:
+        Per-machine backlog marks (``backlog`` counts running jobs, so 1.0
+        means "every machine busy, nothing queued").  Backlog above
+        ``high_water * m`` classifies the regime as moderate overload
+        (``shed_light``); backlog below ``low_water * m`` with a light tail
+        classifies it as ``calm``; anything in between keeps the current
+        algorithm (the hysteresis band).
+    surge_factor:
+        Backlog above ``surge_factor * high_water * m`` is *saturation* — a
+        flash crowd — and sheds with the hindsight-robust candidate
+        (``shed_heavy``) regardless of the tail.
+    tail_cutoff:
+        Tail-index cutoff; a size window heavier than ``Pareto(tail_cutoff)``
+        sheds with ``shed_heavy`` regardless of backlog.  The tail signal is
+        trusted only once the monitor's size window has filled — early
+        windows are too noisy to restructure the portfolio over.
+    confirm / calm_confirm:
+        Consecutive arrivals that must agree on the same target before the
+        switch happens.  Escalating (toward a shedding candidate) uses
+        ``confirm`` — congestion compounds, so it should be fast; relaxing
+        back to the calm candidate uses the much longer ``calm_confirm``,
+        because a cleared backlog right after shedding is exactly what
+        successful shedding looks like, not evidence the storm has passed.
+    """
+
+    def __init__(
+        self,
+        candidates: Sequence[str],
+        cooldown: int = 32,
+        high_water: float = 1.5,
+        low_water: float = 0.5,
+        surge_factor: float = 6.0,
+        tail_cutoff: float = 2.1,
+        confirm: int = 4,
+        calm_confirm: int = 48,
+    ) -> None:
+        super().__init__(candidates, cooldown)
+        if low_water > high_water:
+            raise InvalidParameterError(
+                f"low_water {low_water} must not exceed high_water {high_water}"
+            )
+        if surge_factor < 1.0:
+            raise InvalidParameterError(f"surge_factor must be >= 1, got {surge_factor}")
+        if confirm < 1:
+            raise InvalidParameterError(f"confirm must be >= 1, got {confirm}")
+        if calm_confirm < confirm:
+            raise InvalidParameterError(
+                f"calm_confirm {calm_confirm} must be >= confirm {confirm}"
+            )
+        self.high_water = high_water
+        self.low_water = low_water
+        self.surge_factor = surge_factor
+        self.tail_cutoff = tail_cutoff
+        self.confirm = confirm
+        self.calm_confirm = calm_confirm
+        self._calm, self._shed_light, self._shed_heavy = _partition_candidates(
+            self.candidates
+        )
+        self._shedders = frozenset(
+            c for c in self.candidates if get_solver(c).supports_rejection
+        )
+        self._streak_target: str | None = None
+        self._streak = 0
+
+    def reset(self, num_machines: int) -> None:
+        super().reset(num_machines)
+        self._streak_target = None
+        self._streak = 0
+
+    def _classify(self, monitor: LoadMonitor, current: str) -> str | None:
+        """Target candidate given the telemetry and the *active* candidate.
+
+        Escalation is one-way: heavy tails or a saturated backlog promote to
+        the hindsight-robust shedder, but an active shedder never *hops down*
+        to the other one on a mere backlog-high reading — the rejection
+        budget concentrates where it was committed, and the only way back is
+        sustained calm evidence (the ``calm_confirm`` streak).
+        """
+        per_machine = monitor.backlog / self.num_machines
+        # The tail estimate is only trusted on a full size window.
+        heavy = (
+            monitor.arrivals >= monitor.window
+            and monitor.tail_index() < self.tail_cutoff
+        )
+        if heavy or per_machine > self.surge_factor * self.high_water:
+            return self._shed_heavy
+        if per_machine > self.high_water:
+            return current if current in self._shedders else self._shed_light
+        if per_machine < self.low_water:
+            return self._calm
+        return None  # hysteresis band
+
+    def decide(self, monitor: LoadMonitor, current: str, arrival_index: int) -> str | None:
+        target = self._classify(monitor, current)
+        if target is None or target == current:
+            self._streak_target = None
+            self._streak = 0
+            return None
+        if target == self._streak_target:
+            self._streak += 1
+        else:
+            self._streak_target = target
+            self._streak = 1
+        needed = self.calm_confirm if target == self._calm else self.confirm
+        if self._streak >= needed and self.ready(arrival_index):
+            self._streak_target = None
+            self._streak = 0
+            return target
+        return None
+
+
+class BanditSwitchPolicy(SwitchPolicy):
+    """Deterministic bandit-style scorer over the candidate portfolio.
+
+    Each ``decide`` call charges the monitor's windowed mean flow to the
+    active candidate's cost estimate (an exponential moving average).
+    Unplayed candidates are explored once each, in declaration order; after
+    that the policy exploits — it switches whenever another candidate's
+    estimate undercuts the active one by a relative ``margin``.  A stale
+    estimate that turns out wrong corrects itself: the newly active
+    candidate's EMA refreshes and the policy switches back after the
+    cooldown, so exploration re-emerges exactly when estimates disagree with
+    reality.
+
+    Parameters
+    ----------
+    margin:
+        Relative improvement the best estimate must show over the active
+        candidate's before a switch fires (hysteresis).
+    ema:
+        EMA smoothing factor in ``(0, 1]`` (1 = last sample only).
+    """
+
+    def __init__(
+        self,
+        candidates: Sequence[str],
+        cooldown: int = 32,
+        margin: float = 0.1,
+        ema: float = 0.2,
+    ) -> None:
+        super().__init__(candidates, cooldown)
+        if margin < 0.0:
+            raise InvalidParameterError(f"margin must be >= 0, got {margin}")
+        if not 0.0 < ema <= 1.0:
+            raise InvalidParameterError(f"ema must be in (0, 1], got {ema}")
+        self.margin = margin
+        self.ema = ema
+        self._cost: dict[str, float] = {}
+        self._plays: dict[str, int] = {}
+
+    def reset(self, num_machines: int) -> None:
+        super().reset(num_machines)
+        self._cost = {c: 0.0 for c in self.candidates}
+        self._plays = {c: 0 for c in self.candidates}
+
+    def record_switch(self, arrival_index: int, algorithm: str) -> None:
+        super().record_switch(arrival_index, algorithm)
+        if algorithm in self._plays:
+            self._plays[algorithm] += 1
+
+    def decide(self, monitor: LoadMonitor, current: str, arrival_index: int) -> str | None:
+        sample = monitor.mean_flow()
+        if current in self._cost:
+            if self._plays.get(current, 0) == 0:
+                # The initial candidate was never "switched to"; count its
+                # first charged sample as its first play.
+                self._plays[current] = 1
+                self._cost[current] = sample
+            else:
+                self._cost[current] += self.ema * (sample - self._cost[current])
+        if not self.ready(arrival_index):
+            return None
+        for candidate in self.candidates:
+            if candidate != current and self._plays[candidate] == 0:
+                return candidate
+        current_cost = self._cost.get(current, math.inf)
+        best, best_cost = None, math.inf
+        for candidate in self.candidates:
+            if candidate == current:
+                continue
+            cost = self._cost[candidate]
+            if cost < best_cost:
+                best, best_cost = candidate, cost
+        # Exploit-only with relative hysteresis: a stale estimate that turns
+        # out wrong corrects itself — the new active candidate's EMA refreshes
+        # and the policy switches back after the cooldown.
+        if best is not None and best_cost < current_cost * (1.0 - self.margin):
+            return best
+        return None
+
+
+#: Switch-policy family name -> constructor.
+_FAMILIES = {
+    "threshold": ThresholdSwitchPolicy,
+    "bandit": BanditSwitchPolicy,
+}
+
+
+def make_switch_policy(
+    family: str, candidates: Sequence[str], cooldown: int = 32, **knobs
+) -> SwitchPolicy:
+    """Build a switch policy by family name (``threshold`` / ``bandit``)."""
+    ctor = _FAMILIES.get(family)
+    if ctor is None:
+        raise InvalidParameterError(
+            f"unknown switch-policy family {family!r}; available: {sorted(_FAMILIES)}"
+        )
+    return ctor(candidates, cooldown=cooldown, **knobs)

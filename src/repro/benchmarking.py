@@ -456,6 +456,40 @@ def _bench_e15_service(scale: float) -> BenchCase:
     )
 
 
+def _bench_e17_adaptive(scale: float) -> BenchCase:
+    """The adaptive meta-scheduler on a drifting trace through a session.
+
+    The E17 hot path — a ramp-into-heavy-tail scenario stream bulk-submitted
+    to a ``meta`` session, so every arrival pays the telemetry monitor, the
+    threshold controller and (on regime changes) a sub-policy rebuild on top
+    of the plain E14-style ingestion cost.  Throughput counts simulator
+    events, making the meta overhead directly comparable against the
+    ``e14_robustness`` baseline.
+    """
+    from repro.service import open_session
+    from repro.workloads.scenarios import get_scenario
+
+    machines = 8
+    n = _scaled(8_000, scale)
+    scenario = get_scenario("drift-ramp-heavytail")
+    chunks = list(scenario.job_chunks(n, num_machines=machines, seed=2018))
+
+    def run() -> int:
+        session = open_session(
+            "meta", machines, policy="threshold", epsilon=0.25,
+            retain_events=False,
+        )
+        for chunk in chunks:
+            session.submit_many(chunk)
+        outcome = session.finalize()
+        return outcome.result.extras["events"]
+
+    recipe = {"workload": "scenario:drift-ramp-heavytail", "machines": machines,
+              "seed": 2018, "n": n, "algorithm": "meta(threshold,eps=0.25)",
+              "path": "session-chunk-ingest"}
+    return BenchCase(n_jobs=n, fingerprint=_fingerprint(recipe), run=run, meta=recipe)
+
+
 #: The benchmark registry, in reporting order.
 SPECS: dict[str, BenchSpec] = {
     spec.slug: spec
@@ -486,6 +520,8 @@ SPECS: dict[str, BenchSpec] = {
                   _bench_e15_service),
         BenchSpec("e16_partition", "shard-solve: 4 shards x 4 workers, merged (n=8k)",
                   _bench_e16_partition),
+        BenchSpec("e17_adaptive", "meta-scheduler on a drifting trace through a session (n=8k)",
+                  _bench_e17_adaptive),
         BenchSpec("frontier_100k", "FCFS over a 100k-job instance (full runs only)",
                   _bench_frontier_100k, quick=False),
     )

@@ -16,7 +16,7 @@ the same way they compare experiment configurations.
 Shipped grids:
 
 * ``smoke``   — E1 only, one seed; used by the test suite;
-* ``small``   — all of E1–E10 + E12/E14/E15/E16 at miniature sweep sizes, two
+* ``small``   — all of E1–E10 + E12/E14/E15/E16/E17 at miniature sweep sizes, two
   seeds; finishes in well under a minute, the acceptance grid for
   ``repro campaign run``;
 * ``medium``  — the experiments' default sweep sizes, three seeds; the
@@ -26,7 +26,10 @@ Shipped grids:
 * ``e14``     — the robustness frontier on its own: every catalog scenario ×
   every streaming solver, two seeds (a nightly byte-stability sweep);
 * ``e16``     — the partition-cost sweep on its own: every catalog scenario ×
-  shard counts {1,2,4,8}, two seeds (a nightly byte-stability sweep).
+  shard counts {1,2,4,8}, two seeds (a nightly byte-stability sweep);
+* ``e17``     — the adaptive-regret sweep on its own: every drifting scenario ×
+  fixed candidates + meta switch policies, two seeds (a nightly byte-stability
+  sweep).
 """
 
 from __future__ import annotations
@@ -165,6 +168,11 @@ _SMALL_OVERRIDES: dict[str, dict[str, Any]] = {
         "num_jobs": 60,
         "num_machines": 4,
     },
+    "E17": {
+        "scenarios": ("drift-ramp-heavytail",),
+        "meta_policies": ("threshold",),
+        "num_jobs": 60,
+    },
 }
 
 #: Sweep-size caps for the ``medium`` grid where the experiment's defaults
@@ -194,7 +202,7 @@ GRIDS: dict[str, CampaignGrid] = {
         ),
         _grid(
             "small",
-            "all experiments E1-E10 + E12/E14/E15/E16 at miniature scale, two seeds each",
+            "all experiments E1-E10 + E12/E14-E17 at miniature scale, two seeds each",
             [
                 GridEntry.create(exp_id, overrides=overrides, num_seeds=2)
                 for exp_id, overrides in _SMALL_OVERRIDES.items()
@@ -202,7 +210,7 @@ GRIDS: dict[str, CampaignGrid] = {
         ),
         _grid(
             "medium",
-            "all experiments E1-E10 + E12/E14/E15/E16 at their default sweep sizes, three seeds each",
+            "all experiments E1-E10 + E12/E14-E17 at their default sweep sizes, three seeds each",
             [
                 GridEntry.create(
                     exp_id, overrides=_MEDIUM_OVERRIDES.get(exp_id), num_seeds=3
@@ -224,6 +232,11 @@ GRIDS: dict[str, CampaignGrid] = {
             "e16",
             "E16 partition cost: all scenarios x k in {1,2,4,8}, two seeds",
             [GridEntry.create("E16", overrides={"num_jobs": 150}, num_seeds=2)],
+        ),
+        _grid(
+            "e17",
+            "E17 adaptive regret: drift scenarios x fixed + meta policies, two seeds",
+            [GridEntry.create("E17", overrides={"num_jobs": 150}, num_seeds=2)],
         ),
     )
 }

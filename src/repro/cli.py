@@ -10,6 +10,7 @@ Seven subcommands cover the common workflows::
     python -m repro serve --listen 127.0.0.1:7077 --checkpoint-dir ckpt
     python -m repro loadgen --sessions 8 --jobs 500 --verify
     python -m repro trace generate --scenario flash-crowd --jobs 1000 --out crowd.ndjson
+    python -m repro adaptive --scenario drift-ramp-heavytail --policy threshold
     python -m repro bounds --epsilon 0.25 --alpha 3
     python -m repro campaign run --grid small --workers 4
 
@@ -41,6 +42,11 @@ Seven subcommands cover the common workflows::
   ``convert`` (NDJSON <-> CSV plus deterministic transforms: load scaling,
   time warping, truncation, sharding), ``generate`` (export a catalog
   scenario as a trace file) and ``scenarios`` (list the catalog).
+* ``adaptive`` runs the drifting-regret evaluation (experiment E17): each
+  drift scenario is solved by every fixed candidate policy and by the
+  algorithm-switching ``meta`` solver, and the per-scenario verdict — does
+  adaptivity beat the worst (or every) fixed policy in hindsight — is printed
+  after the table (``--json`` emits the verdict summary as canonical JSON).
 * ``bounds`` prints the paper's closed-form guarantees for given parameters.
 * ``campaign`` runs (experiment × variant × seed) grids in parallel against a
   cached artifact store and aggregates the results (``run``/``list``/``report``).
@@ -320,6 +326,35 @@ def build_parser() -> argparse.ArgumentParser:
     _format_arg(trace_generate)
 
     trace_sub.add_parser("scenarios", help="list the heavy-traffic scenario catalog")
+
+    adaptive = subparsers.add_parser(
+        "adaptive",
+        help="evaluate the algorithm-switching meta-scheduler on drifting workloads (E17)",
+    )
+    adaptive.add_argument("--scenario", action="append", default=None, metavar="NAME",
+                          help="drifting scenario to evaluate (repeatable; default: "
+                               "the full drift catalog)")
+    adaptive.add_argument("--policy", action="append", default=None,
+                          choices=("threshold", "bandit"),
+                          help="meta switch-policy family (repeatable; default: both)")
+    adaptive.add_argument("--candidate", action="append", default=None,
+                          metavar="ALGORITHM",
+                          help="candidate portfolio entry, a streaming registry id "
+                               "(repeatable; default: the meta solver's portfolio)")
+    adaptive.add_argument("--jobs", type=int, default=300)
+    adaptive.add_argument("--machines", type=int, default=4)
+    adaptive.add_argument("--seed", type=int, default=2018)
+    adaptive.add_argument("--window", type=int, default=64,
+                          help="telemetry monitor window (samples per statistic)")
+    adaptive.add_argument("--cooldown", type=int, default=32,
+                          help="minimum arrivals between algorithm switches")
+    adaptive.add_argument("--epsilon", type=float, default=0.25,
+                          help="rejection budget shared by every policy that takes one")
+    adaptive.add_argument("--ingest", default="session", choices=("session", "batch"),
+                          help="stream chunks through a session or solve a batch "
+                               "instance (byte-identical outcomes)")
+    adaptive.add_argument("--json", action="store_true",
+                          help="print the per-scenario verdict summary as canonical JSON")
 
     bounds = subparsers.add_parser("bounds", help="print the paper's closed-form guarantees")
     bounds.add_argument("--epsilon", type=float, default=0.5)
@@ -865,6 +900,46 @@ def _cmd_campaign(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_adaptive(args: argparse.Namespace, out) -> int:
+    overrides: dict = {
+        "num_jobs": args.jobs,
+        "num_machines": args.machines,
+        "seed": args.seed,
+        "window": args.window,
+        "cooldown": args.cooldown,
+        "epsilon": args.epsilon,
+        "ingest": args.ingest,
+    }
+    if args.scenario:
+        overrides["scenarios"] = tuple(args.scenario)
+    if args.policy:
+        overrides["meta_policies"] = tuple(args.policy)
+    if args.candidate:
+        overrides["candidates"] = tuple(args.candidate)
+    result = run_experiment("E17", **overrides)
+    if args.json:
+        print(canonical_json(result.raw["summary"]), file=out)
+        return 0
+    print(result.render(), file=out)
+    print("", file=out)
+    for entry in result.raw["summary"]:
+        verdict = (
+            "beats every fixed policy"
+            if entry["beats_all_fixed"]
+            else "beats the worst fixed policy"
+            if entry["beats_worst_fixed"]
+            else "does NOT beat the worst fixed policy"
+        )
+        print(
+            f"{entry['scenario']:24s} {entry['policy']:16s}: "
+            f"{entry['objective_value']:.1f} vs fixed "
+            f"[best {entry['best_fixed']:.1f}, worst {entry['worst_fixed']:.1f}], "
+            f"{entry['switches']} switch(es) -- {verdict}",
+            file=out,
+        )
+    return 0
+
+
 def _cmd_bounds(args: argparse.Namespace, out) -> int:
     print(f"epsilon = {args.epsilon}, alpha = {args.alpha}", file=out)
     print(
@@ -923,6 +998,8 @@ def main(argv: list[str] | None = None, out=None, err=None) -> int:
             return _cmd_trace(args, out)
         if args.command == "campaign":
             return _cmd_campaign(args, out)
+        if args.command == "adaptive":
+            return _cmd_adaptive(args, out)
         return _cmd_bounds(args, out)
     except ReproError as exc:
         print(f"error: {exc}", file=err)

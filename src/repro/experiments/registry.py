@@ -150,6 +150,12 @@ EXPERIMENTS: dict[str, ExperimentSpec] = {
             "PartitionCostConfig",
             "Partition cost: k-sharded parallel solving vs the single coordinator",
         ),
+        ExperimentSpec(
+            "E17",
+            "repro.experiments.exp_adaptive",
+            "AdaptiveConfig",
+            "Adaptive meta-scheduling regret under drifting workload regimes",
+        ),
     )
 }
 

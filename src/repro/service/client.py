@@ -141,6 +141,12 @@ class ServiceClient:
         """Close a session; the terminator is its ``final`` summary row."""
         return self.request("close", name)
 
+    def stats(self, name: str) -> dict:
+        """Live counters of a hosted session (backlog, submitted/completed/
+        rejected, last-event time; adaptive sessions add switch state and
+        telemetry).  Read-only — never advances the simulation."""
+        return self.request("stats", name).event["stats"]
+
     def sessions(self) -> list[dict]:
         return list(self.request("sessions").event["sessions"])
 
@@ -183,6 +189,8 @@ class SessionReport:
     #: Per-chunk submit->polled round-trip latencies, seconds.
     latencies: list = field(default_factory=list)
     final_row: "dict | None" = None
+    #: Last ``stats`` observation before close (live-session observability).
+    last_stats: "dict | None" = None
     #: ``True``/``False`` after a verify pass; ``None`` when verification off.
     matches_batch: "bool | None" = None
     error: "str | None" = None
@@ -198,6 +206,8 @@ class SessionReport:
             "latency_p50_ms": percentile(self.latencies, 50.0) * 1e3,
             "latency_p99_ms": percentile(self.latencies, 99.0) * 1e3,
         }
+        if self.last_stats is not None:
+            row["stats"] = self.last_stats
         if self.matches_batch is not None:
             row["matches_batch"] = self.matches_batch
         if self.error is not None:
@@ -294,6 +304,7 @@ def _drive_session(
             polled = client.poll(report.session)
             report.latencies.append(time.perf_counter() - t0)
             report.decisions += len(polled.decisions)
+        report.last_stats = client.stats(report.session)
         final = client.close_session(report.session)
         report.decisions += len(final.decisions)
         report.elapsed = time.perf_counter() - started

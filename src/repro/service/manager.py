@@ -43,7 +43,7 @@ from pathlib import Path
 from typing import Any, Iterable, Mapping, Sequence
 
 from repro.exceptions import ServiceError, SessionStateError
-from repro.service.session import SchedulerSession
+from repro.service.session import SchedulerSession, open_session
 from repro.simulation.job import Job
 from repro.simulation.stepper import DecisionEvent
 from repro.utils.serialization import canonical_json, stable_hash
@@ -229,7 +229,9 @@ class SessionManager:
         defaults = self.defaults
         merged_params = dict(defaults.get("params") or {})
         merged_params.update(params or {})
-        session = SchedulerSession(
+        # open_session rather than direct construction: per-algorithm session
+        # classes (the adaptive meta wrapper) apply to hosted sessions too.
+        session = open_session(
             algorithm if algorithm is not None else defaults.get("algorithm", "rejection-flow"),
             machines if machines is not None else defaults.get("machines", 4),
             alpha=alpha if alpha is not None else defaults.get("alpha", 3.0),
@@ -341,6 +343,21 @@ class SessionManager:
         hosted.pending_offers = 0
         self._after_op(hosted)
         return events
+
+    def stats(self, name: str) -> dict:
+        """Live observability counters of a hosted session (any state).
+
+        The session's :meth:`~repro.service.session.SchedulerSession.stats`
+        payload plus the manager-side view (lifecycle state, offer-queue
+        depth).  Read-only: works on closed/failed sessions and never
+        advances the simulation.
+        """
+        hosted = self._require(name, open_=False)
+        stats = hosted.session.stats()
+        stats["state"] = hosted.state
+        stats["pending"] = hosted.pending_offers
+        stats["max_pending"] = hosted.max_pending
+        return stats
 
     def close(self, name: str) -> tuple[dict, list[DecisionEvent]]:
         """Drain, finalize and close a session.

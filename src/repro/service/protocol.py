@@ -24,6 +24,7 @@ Control messages (``PROTOCOL_VERSION`` = 1)::
     {"op": "snapshot", "session": S}                      -> snapshot
     {"op": "restore", "session": S, "snapshot": {...}}    -> created (restored)
     {"op": "close", "session": S}                         -> decision* final
+    {"op": "stats", "session": S}                         -> stats
     {"op": "sessions"}                                    -> sessions
     {"op": "migrate", "session": S, "target": "H:P"}      -> migrated
     {"op": "shutdown"}                                    -> shutdown
@@ -80,6 +81,7 @@ OPS = (
     "snapshot",
     "restore",
     "close",
+    "stats",
     "sessions",
     "migrate",
     "shutdown",
@@ -95,6 +97,7 @@ TERMINATORS: dict[str, str] = {
     "snapshot": "snapshot",
     "restore": "created",
     "close": "final",
+    "stats": "stats",
     "sessions": "sessions",
     "migrate": "migrated",
     "shutdown": "shutdown",
@@ -102,7 +105,7 @@ TERMINATORS: dict[str, str] = {
 
 #: Ops that must name a session.
 _SESSION_OPS = frozenset(
-    {"create", "submit", "poll", "advance", "snapshot", "restore", "close", "migrate"}
+    {"create", "submit", "poll", "advance", "snapshot", "restore", "close", "stats", "migrate"}
 )
 
 

@@ -316,6 +316,8 @@ class ServiceServer:
                         max_pending=outcome.max_pending,
                     )
                 ]
+            if op == "stats":
+                return [response_line("stats", name, stats=self.manager.stats(name))]
             if op == "poll":
                 events = self.manager.poll(name)
                 lines = [decision_line(event, name) for event in events]

@@ -76,6 +76,23 @@ def streaming_algorithms() -> list[str]:
     )
 
 
+def _session_class(algorithm: str) -> type:
+    """Session class for ``algorithm``: adaptive solvers get the meta wrapper.
+
+    Solvers tagged ``"adaptive"`` open as
+    :class:`~repro.adaptive.meta.MetaSchedulerSession` (adds ``hot_switch``
+    and live telemetry); everything else gets the plain
+    :class:`SchedulerSession`.  Imported lazily — the adaptive package sits
+    on top of this module.
+    """
+    spec = get_solver(algorithm)
+    if "adaptive" in spec.tags:
+        from repro.adaptive.meta import MetaSchedulerSession
+
+        return MetaSchedulerSession
+    return SchedulerSession
+
+
 def _normalise_machines(machines: "int | Sequence[Machine]", alpha: float) -> tuple[Machine, ...]:
     if isinstance(machines, int):
         return Machine.fleet(machines, alpha=alpha)
@@ -122,7 +139,14 @@ class SchedulerSession:
         fleet_instance = Instance(self.machines, (), name=self.name)
         self.engine = _ENGINES[spec.model](fleet_instance, dispatch=dispatch)
         self._events: list[DecisionEvent] = []
-        self._stepper = self.engine.stepper(self.policy, observer=self._events.append)
+        # O(1) live counters behind stats(); maintained by the observer so
+        # observability never scans the decision history.
+        self._dispatched = 0
+        self._started = 0
+        self._completed = 0
+        self._rejected = 0
+        self._last_event_time = 0.0
+        self._stepper = self.engine.stepper(self.policy, observer=self._observe)
         self._jobs: list[Job] = []
         self._watermark = 0.0
         #: When ``False``, events handed out by poll()/take_events() are
@@ -181,6 +205,45 @@ class SchedulerSession:
 
     def __len__(self) -> int:
         return len(self._jobs)
+
+    def _observe(self, event: DecisionEvent) -> None:
+        """Stepper observer: record the event and bump the live counters."""
+        self._events.append(event)
+        kind = event.kind
+        if kind == "complete":
+            self._completed += 1
+        elif kind == "reject":
+            self._rejected += 1
+        elif kind == "start":
+            self._started += 1
+        else:
+            self._dispatched += 1
+        if event.time > self._last_event_time:
+            self._last_event_time = event.time
+
+    def stats(self) -> dict:
+        """Live observability counters (cheap: no decision-history scan).
+
+        ``backlog`` counts jobs in flight — submitted but neither completed
+        nor rejected; ``last_event_time`` is the timestamp of the newest
+        decision event (0.0 before any).  Also the payload of the service
+        wire protocol's ``stats`` op.
+        """
+        submitted = len(self._jobs)
+        return {
+            "algorithm": self.spec.algorithm_id,
+            "dispatch": self.engine.dispatch,
+            "finalized": self.finalized,
+            "submitted": submitted,
+            "dispatched": self._dispatched,
+            "started": self._started,
+            "completed": self._completed,
+            "rejected": self._rejected,
+            "backlog": submitted - self._completed - self._rejected,
+            "events_emitted": self.events_emitted,
+            "last_event_time": self._last_event_time,
+            "watermark": self._watermark,
+        }
 
     # -- ingestion -----------------------------------------------------------------
 
@@ -433,6 +496,10 @@ class SchedulerSession:
             )
         machines = tuple(Machine.from_dict(m) for m in snapshot["machines"])
         params = {str(k): v for k, v in dict(snapshot["params"]).items()}
+        if cls is SchedulerSession:
+            # Restoring through the base class still honours per-algorithm
+            # session classes (the adaptive meta wrapper).
+            cls = _session_class(snapshot["algorithm"])
         session = cls(
             snapshot["algorithm"],
             machines,
@@ -510,7 +577,7 @@ def open_session(
         Algorithm parameters, validated against the registry schema before
         the session opens.
     """
-    return SchedulerSession(
+    return _session_class(algorithm)(
         algorithm,
         machines,
         alpha=alpha,

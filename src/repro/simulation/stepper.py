@@ -123,7 +123,7 @@ class EngineStepper:
     def __init__(self, engine, policy, observer: Callable[[DecisionEvent], None] | None = None):
         self.engine = engine
         self.policy = policy
-        self.observer = observer
+        self.set_observer(observer)
         instance = engine.instance
         policy.reset(instance)
 
@@ -172,6 +172,29 @@ class EngineStepper:
         # their answer may depend on global state the event did not touch.
         self._recheck: set[int] = set()
         self._finished = False
+
+    def set_observer(self, observer: Callable[[DecisionEvent], None] | None) -> None:
+        """Install ``observer`` as the external decision-event sink.
+
+        Policies that watch their own run (the adaptive meta-scheduler's
+        telemetry monitor) expose ``observe_decision``; it is chained in
+        front of the external observer so the decision stream feeds the
+        policy identically on the batch and streaming paths.  Sessions that
+        replace themselves in place (``hot_switch``) re-call this to rebind
+        the external sink.
+        """
+        policy_observer = getattr(self.policy, "observe_decision", None)
+        if callable(policy_observer):
+            if observer is None:
+                observer = policy_observer
+            else:
+                external = observer
+
+                def observer(event, _policy=policy_observer, _external=external):
+                    _policy(event)
+                    _external(event)
+
+        self.observer = observer
 
     # -- construction hooks (overridden by the vectorized backend) -----------------
 

@@ -24,6 +24,7 @@ from repro.baselines.offline import (
 from repro.baselines.speed_augmentation import run_with_speed_augmentation
 from repro.baselines.srpt import srpt_unrelated_lower_bound
 from repro.baselines.yds import yds_schedule
+from repro.adaptive.solver import DEFAULT_CANDIDATES, SWITCH_POLICIES, MetaSchedulingPolicy
 from repro.core.energy_min import ConfigLPEnergyScheduler
 from repro.core.flow_time import RejectionFlowTimeScheduler
 from repro.core.flow_time_energy import RejectionEnergyFlowScheduler
@@ -168,6 +169,41 @@ register_solver(
         tags=("baseline",),
     )
 )
+
+# -- adaptive meta-scheduler (portfolio over the streaming solvers above) --------------
+
+register_solver(
+    SolverSpec(
+        algorithm_id="meta",
+        model="fixed-speed",
+        objective="total-flow-time",
+        description="adaptive meta-scheduler: monitors windowed load telemetry and "
+                    "hot-switches between candidate streaming policies",
+        supports_rejection=True,
+        supports_streaming=True,
+        params=(
+            ParamSpec("candidates", tuple, default=DEFAULT_CANDIDATES,
+                      description="candidate portfolio (registry ids); first is initial"),
+            ParamSpec("window", int, default=64, minimum=2,
+                      description="telemetry window (samples per sliding statistic)"),
+            ParamSpec("policy", str, default="threshold", choices=SWITCH_POLICIES,
+                      description="switch-policy family ('plan' disables the controller)"),
+            ParamSpec("cooldown", int, default=32, minimum=1,
+                      description="minimum arrivals between switches (hysteresis)"),
+            ParamSpec("margin", float, default=0.1, minimum=0.0,
+                      description="bandit relative-improvement margin"),
+            ParamSpec("epsilon", float, default=0.25, minimum=0.0,
+                      minimum_exclusive=True, maximum=1.0,
+                      description="rejection budget forwarded to every candidate "
+                                  "that takes an epsilon"),
+            ParamSpec("plan", tuple, default=(),
+                      description="forced switches as 'INDEX:ALGORITHM' entries"),
+        ),
+        factory=MetaSchedulingPolicy,
+        tags=("adaptive",),
+    )
+)
+
 
 register_solver(
     SolverSpec(

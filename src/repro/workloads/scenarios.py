@@ -19,7 +19,13 @@ regimes the ROADMAP asks for:
   (short uniform jobs, high weight), batch (heavy-tailed long jobs, low
   weight) and a bursty bimodal tenant;
 * ``load-ramp`` — a stationary trace re-clocked so the arrival rate grows
-  steadily until the system crosses into overload.
+  steadily until the system crosses into overload;
+* ``drift-diurnal-flash`` — a diurnal cycle whose final day is interrupted
+  by a synchronized flash-crowd burst: the load regime *drifts* mid-trace,
+  which is what the E17 adaptive meta-scheduler is evaluated against;
+* ``drift-ramp-heavytail`` — a gentle exponential-size ramp that hands over
+  to a near-critical Pareto(1.1) stream in the second half: the size
+  distribution's tail drifts from light to extreme.
 
 The catalog is exposed to experiments (E14 sweeps all streaming solvers over
 it), to ``standard_suites()`` (a ``scenarios`` suite at every scale) and to
@@ -250,6 +256,71 @@ def _load_ramp(n: int, m: int, seed: int, chunk_size: int) -> Iterator[JobChunk]
     return time_warp(generator.iter_job_chunks(n, chunk_size), ramp)
 
 
+def _drift_diurnal_flash(n: int, m: int, seed: int, chunk_size: int) -> Iterator[JobChunk]:
+    burst_jobs = n // 3
+    base_jobs = n - burst_jobs
+    base = InstanceGenerator(
+        num_machines=m,
+        arrival_process="poisson",
+        size_distribution="pareto",
+        load=0.8,
+        seed=seed,
+    )
+    warp = piecewise_warp(
+        period=max(64.0, base_jobs / 3.0),
+        multipliers=(0.5, 1.0, 2.0, 2.0, 1.0, 0.5),
+    )
+    calm = time_warp(base.iter_job_chunks(base_jobs, chunk_size), warp)
+    crowd = InstanceGenerator(
+        num_machines=m,
+        arrival_process="batched",
+        batch_size=max(1, burst_jobs),
+        size_distribution="uniform",
+        size_params={"low": 0.5, "high": 4.0},
+        load=None,
+        seed=seed + 1,
+    )
+    # The crowd strikes two thirds of the way through the diurnal trace
+    # (rate ~1 => span ~ base_jobs): the regime drifts from cyclic-but-calm
+    # to saturated mid-run.
+    strike = 2.0 * base_jobs / 3.0
+    surge = time_warp(crowd.iter_job_chunks(burst_jobs, chunk_size), lambda t: t + strike)
+    return merge(calm, surge, chunk_size=chunk_size)
+
+
+def _drift_ramp_heavytail(n: int, m: int, seed: int, chunk_size: int) -> Iterator[JobChunk]:
+    tail_jobs = n // 2
+    ramp_jobs = n - tail_jobs
+    gentle = InstanceGenerator(
+        num_machines=m,
+        arrival_process="poisson",
+        size_distribution="exponential",
+        load=0.7,
+        seed=seed,
+    )
+    # Same sub-linear re-clocking as ``load-ramp``, but milder: the first
+    # half climbs from light load toward critical without tipping over.
+    span = max(1.0, float(ramp_jobs))
+    exponent = 0.85
+
+    def ramp(values: np.ndarray) -> np.ndarray:
+        return span * (np.asarray(values, dtype=np.float64) / span) ** exponent
+
+    first = time_warp(gentle.iter_job_chunks(ramp_jobs, chunk_size), ramp)
+    heavy = InstanceGenerator(
+        num_machines=m,
+        arrival_process="poisson",
+        size_distribution="pareto",
+        size_params={"shape": 1.1, "high": 5000.0},
+        load=0.95,
+        seed=seed + 1,
+    )
+    # The heavy-tailed stream takes over where the ramp leaves off: shift
+    # its releases past the ramp's span so the tail drifts mid-trace.
+    second = time_warp(heavy.iter_job_chunks(tail_jobs, chunk_size), lambda t: t + span)
+    return merge(first, second, chunk_size=chunk_size)
+
+
 def _register(*scenarios: Scenario) -> dict[str, Scenario]:
     catalog: dict[str, Scenario] = {}
     for scenario in scenarios:
@@ -285,6 +356,16 @@ SCENARIOS: dict[str, Scenario] = _register(
         "load-ramp",
         "arrival rate ramping steadily from underload into overload",
         _load_ramp,
+    ),
+    Scenario(
+        "drift-diurnal-flash",
+        "diurnal cycle drifting into a synchronized flash-crowd burst (E17)",
+        _drift_diurnal_flash,
+    ),
+    Scenario(
+        "drift-ramp-heavytail",
+        "gentle load ramp handing over to a near-critical Pareto(1.1) tail (E17)",
+        _drift_ramp_heavytail,
     ),
 )
 

@@ -197,6 +197,7 @@ class TestGrids:
             "E14",
             "E15",
             "E16",
+            "E17",
         }
 
     def test_solvers_grid_sweeps_algorithms(self):

@@ -15,6 +15,7 @@ class TestRegistry:
             "E14",
             "E15",
             "E16",
+            "E17",
         }
 
     def test_descriptions_non_empty(self):

@@ -526,7 +526,8 @@ class TestScenarios:
     def test_catalog_contents(self):
         catalog = available_scenarios()
         assert {"heavy-tail-pareto", "diurnal-pareto", "flash-crowd",
-                "multi-tenant-mix", "load-ramp"} == set(catalog)
+                "multi-tenant-mix", "load-ramp",
+                "drift-diurnal-flash", "drift-ramp-heavytail"} == set(catalog)
         assert all(description for description in catalog.values())
 
     def test_unknown_scenario(self):
