@@ -25,6 +25,11 @@ series), which CI appends to the job summary and uploads as a PR artifact::
 
     python -m benchmarks.trajectory --report --out trajectory.ndjson \
         --report-out bench-report.md
+
+A missing or empty trajectory file is not an error for ``--report``: the
+first run of a fresh cache has no history yet, so the report says so and
+falls back to a "this run" table built from the ``--artifacts`` snapshots
+(exit code 0 either way — CI must not fail just because history starts now).
 """
 
 from __future__ import annotations
@@ -158,6 +163,45 @@ def render_report(rows: Sequence[dict], series_limit: int = 10) -> str:
     return "\n".join(lines) + "\n"
 
 
+def render_first_run_report(
+    artifact_dir: "str | Path",
+    trajectory_path: "str | Path",
+) -> str:
+    """Markdown for the first-run path: no trajectory history exists yet.
+
+    States why the history is empty (file missing vs present-but-empty) and,
+    when this run's ``BENCH_*.json`` artifacts are available, renders them as
+    a "this run" table so the job summary is useful from run one onward.
+    """
+    path = Path(trajectory_path)
+    state = "empty" if path.is_file() else "missing"
+    lines = [
+        "# Benchmark trajectory",
+        "",
+        f"No prior runs recorded: trajectory file `{path}` is {state}. "
+        "History accumulates from this run onward.",
+    ]
+    paths = sorted(Path(artifact_dir).glob(f"{ARTIFACT_PREFIX}*.json"))
+    if paths:
+        lines += [
+            "",
+            "## This run",
+            "",
+            "| bench | events/s | median s | n_jobs |",
+            "|---|---|---|---|",
+        ]
+        for artifact_file in paths:
+            artifact = json.loads(artifact_file.read_text(encoding="utf-8"))
+            median = artifact.get("median_s")
+            median_text = f"{median:.4f}" if isinstance(median, (int, float)) else "-"
+            lines.append(
+                f"| {artifact.get('bench') or artifact_file.stem} | "
+                f"{_fmt_rate(artifact.get('events_per_sec'))} | {median_text} | "
+                f"{artifact.get('n_jobs', '-')} |"
+            )
+    return "\n".join(lines) + "\n"
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
@@ -178,10 +222,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.report:
         path = Path(args.out)
-        if not path.is_file():
-            print(f"error: no trajectory file at {path}", file=sys.stderr)
-            return 2
-        report = render_report(read_trajectory(path))
+        rows = read_trajectory(path) if path.is_file() else []
+        if rows:
+            report = render_report(rows)
+        else:
+            report = render_first_run_report(args.artifacts, path)
         if args.report_out:
             report_path = Path(args.report_out)
             report_path.parent.mkdir(parents=True, exist_ok=True)

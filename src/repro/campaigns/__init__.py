@@ -6,9 +6,17 @@ print tables" to re-runnable (experiment × variant × seed × algorithm) grids:
 * :mod:`~repro.campaigns.grids` names deterministic task grids;
 * :mod:`~repro.campaigns.tasks` defines picklable tasks and their
   content-addressed artifact keys;
-* :mod:`~repro.campaigns.store` persists one canonical-JSON artifact per task;
+* :mod:`~repro.campaigns.backends` is the pluggable blob layer: filesystem,
+  sqlite (object-store-shaped) and in-memory backends behind one
+  :class:`StoreBackend` contract with atomic conditional puts;
+* :mod:`~repro.campaigns.store` persists one canonical-JSON artifact per
+  task on any backend;
 * :mod:`~repro.campaigns.runner` fans pending tasks out over worker
   processes and skips everything already in the store (resumability);
+* :mod:`~repro.campaigns.distributed` lets N independent worker processes
+  (or hosts) sharing one backend execute a grid cooperatively via
+  lease-based work stealing, with crash recovery and byte-identical
+  results (:func:`run_campaign` is the one entry point for both modes);
 * :mod:`~repro.campaigns.aggregate` merges artifacts into report tables and
   CSV exports without re-running anything;
 * :mod:`~repro.campaigns.session_replay` records streaming-session decision
@@ -19,6 +27,13 @@ See docs/ARCHITECTURE.md for the data-flow diagram and the ``repro
 campaign`` CLI for the user-facing entry point.
 """
 
+from repro.campaigns.backends import (
+    FilesystemBackend,
+    MemoryBackend,
+    SQLiteBackend,
+    StoreBackend,
+    open_backend,
+)
 from repro.campaigns.aggregate import (
     aggregate_tables,
     export_csv,
@@ -35,6 +50,12 @@ from repro.campaigns.grids import (
     available_grids,
     get_grid,
 )
+from repro.campaigns.distributed import (
+    DEFAULT_LEASE_TTL,
+    gc_store,
+    run_campaign,
+    run_worker,
+)
 from repro.campaigns.runner import (
     CampaignRunner,
     CampaignRunSummary,
@@ -48,7 +69,7 @@ from repro.campaigns.session_replay import (
     replay_session_trace,
     trace_key,
 )
-from repro.campaigns.store import ArtifactStore
+from repro.campaigns.store import ArtifactStore, diff_stores
 from repro.campaigns.tasks import (
     ARTIFACT_SCHEMA_VERSION,
     CampaignTask,
@@ -65,24 +86,34 @@ __all__ = [
     "CampaignRunner",
     "CampaignRunSummary",
     "CampaignTask",
+    "DEFAULT_LEASE_TTL",
     "DEFAULT_MASTER_SEED",
+    "FilesystemBackend",
     "GRIDS",
     "GridEntry",
+    "MemoryBackend",
+    "SQLiteBackend",
     "SessionTrace",
+    "StoreBackend",
     "TRACE_SCHEMA_VERSION",
     "TaskOutcome",
     "aggregate_tables",
     "algorithm_axis",
     "available_grids",
+    "diff_stores",
     "export_csv",
+    "gc_store",
     "get_grid",
+    "open_backend",
     "payload_from_result",
     "record_session_trace",
     "render_campaign_report",
     "replay_session_trace",
     "result_from_payload",
+    "run_campaign",
     "run_mapped",
     "run_task",
+    "run_worker",
     "summary_table",
     "table_to_csv",
     "task_from_payload",

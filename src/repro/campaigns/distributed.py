@@ -1,0 +1,316 @@
+"""Work-stealing distributed campaign execution over a shared store.
+
+Any number of independent worker processes (or hosts) pointed at one store
+backend cooperatively execute one campaign grid — no coordinator, no
+assignment step, per-task resume.  The whole protocol is built from the
+backend's three atomic primitives and one reserved key prefix:
+
+* **claim** — a worker claims a task by atomically creating the lease
+  marker ``leases/<task key>`` (``put_if_absent``).  The lease carries the
+  worker id, an absolute expiry (wall clock + TTL) and a steal counter.
+* **heartbeat** — while computing, a background thread renews the lease by
+  compare-and-set every ``ttl / 4``, so live workers keep long tasks.
+* **steal** — a worker finding an *expired* lease CASes its own lease over
+  the old blob; exactly one concurrent stealer wins.  This is the whole
+  crash story: a worker killed mid-task simply stops heartbeating, and its
+  task is re-executed elsewhere after at most one TTL.
+* **publish** — results are published with ``save_if_absent`` (first
+  writer wins).  Duplicated work — an owner that lost its lease but
+  finished anyway — is harmless: artifacts are canonical JSON keyed by
+  content hash, so every writer holds identical bytes.
+* **release** — the lease is deleted after publishing; once the artifact
+  exists, any worker that sees a leftover lease clears it.  A finished
+  store therefore contains artifacts only, byte-identical to a sequential
+  single-worker run on any backend.
+
+Workers exit when every task's artifact exists, so ``run_worker`` doubles
+as a barrier: whichever process returns last observed the completed grid.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import time
+from typing import Callable, Sequence
+
+from repro.campaigns.runner import CampaignRunner, CampaignRunSummary, TaskOutcome
+from repro.campaigns.store import LEASE_PREFIX, ArtifactStore
+from repro.campaigns.tasks import CampaignTask, run_task
+from repro.exceptions import InvalidParameterError
+from repro.utils.serialization import canonical_json
+
+#: Default lease time-to-live.  Generous relative to heartbeat cadence
+#: (ttl/4) so GC pauses don't cause spurious steals, small enough that a
+#: crashed worker's task is rerun quickly.
+DEFAULT_LEASE_TTL = 30.0
+
+
+def default_worker_id() -> str:
+    """A worker id unique per (host, process): ``<hostname>-<pid>``."""
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+def lease_key_for(key: str) -> str:
+    """Backend key of the lease marker guarding artifact ``key``."""
+    return f"{LEASE_PREFIX}{key}"
+
+
+def encode_lease(worker: str, expires_at: float, seq: int) -> bytes:
+    """Canonical lease blob; CAS tokens compare these bytes exactly."""
+    return canonical_json(
+        {"worker": worker, "expires_at": expires_at, "seq": seq}
+    ).encode("utf-8")
+
+
+def decode_lease(blob: bytes) -> "dict | None":
+    """Parse a lease blob; ``None`` for corrupt blobs (treated as expired)."""
+    try:
+        lease = json.loads(blob.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError):
+        return None
+    if not isinstance(lease, dict) or "expires_at" not in lease:
+        return None
+    return lease
+
+
+def try_claim(
+    store: ArtifactStore,
+    key: str,
+    worker: str,
+    ttl: float,
+    clock: Callable[[], float] = time.time,
+) -> "bytes | None":
+    """Attempt to claim (or steal) the lease for ``key``.
+
+    Returns the lease blob now held — the CAS token for renewal/release —
+    or ``None`` if another worker holds an unexpired lease.
+    """
+    backend = store.backend
+    lkey = lease_key_for(key)
+    now = clock()
+    fresh = encode_lease(worker, now + ttl, 0)
+    if backend.put_if_absent(lkey, fresh):
+        return fresh
+    current = backend.get(lkey)
+    if current is None:
+        # Released between our put_if_absent and get: retry the create once;
+        # losing again means a rival claimed it first.
+        return fresh if backend.put_if_absent(lkey, fresh) else None
+    lease = decode_lease(current)
+    if lease is not None and lease.get("worker") != worker and lease["expires_at"] > now:
+        return None
+    seq = (lease or {}).get("seq", 0)
+    stolen = encode_lease(worker, now + ttl, int(seq) + 1)
+    return stolen if backend.compare_and_put(lkey, stolen, expected=current) else None
+
+
+def renew_lease(
+    store: ArtifactStore,
+    key: str,
+    token: bytes,
+    worker: str,
+    ttl: float,
+    clock: Callable[[], float] = time.time,
+) -> "bytes | None":
+    """Extend a held lease; returns the new token, or ``None`` if lost."""
+    lease = decode_lease(token) or {"seq": 0}
+    renewed = encode_lease(worker, clock() + ttl, int(lease.get("seq", 0)))
+    if store.backend.compare_and_put(lease_key_for(key), renewed, expected=token):
+        return renewed
+    return None
+
+
+def release_lease(store: ArtifactStore, key: str, token: bytes) -> None:
+    """Drop a held lease (best effort — a stolen lease is left alone)."""
+    lkey = lease_key_for(key)
+    if store.backend.get(lkey) == token:
+        store.backend.delete(lkey)
+
+
+class LeaseHeartbeat(threading.Thread):
+    """Renews one lease every ``ttl / 4`` until stopped or lost."""
+
+    def __init__(
+        self,
+        store: ArtifactStore,
+        key: str,
+        token: bytes,
+        worker: str,
+        ttl: float,
+        clock: Callable[[], float] = time.time,
+    ):
+        super().__init__(daemon=True, name=f"lease-heartbeat-{key[:8]}")
+        self._store = store
+        self._key = key
+        self.token = token
+        self._worker = worker
+        self._ttl = ttl
+        self._clock = clock
+        self._stopped = threading.Event()
+        #: Set when a renewal CAS fails — the lease was stolen (or cleared);
+        #: the owner may still finish and publish, that's safe by design.
+        self.lost = False
+
+    def run(self) -> None:
+        interval = max(self._ttl / 4.0, 0.01)
+        while not self._stopped.wait(interval):
+            renewed = renew_lease(
+                self._store, self._key, self.token, self._worker, self._ttl,
+                clock=self._clock,
+            )
+            if renewed is None:
+                self.lost = True
+                return
+            self.token = renewed
+
+    def stop(self) -> None:
+        self._stopped.set()
+        self.join()
+
+
+def run_worker(
+    store: ArtifactStore,
+    tasks: Sequence[CampaignTask],
+    *,
+    worker_id: "str | None" = None,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+    poll_interval: "float | None" = None,
+    task_runner: Callable[[CampaignTask], dict] = run_task,
+    progress=None,
+    clock: Callable[[], float] = time.time,
+) -> CampaignRunSummary:
+    """Run one cooperative worker until every task's artifact exists.
+
+    Computes in-process, one task at a time: parallelism comes from running
+    several ``run_worker`` processes (or threads, in tests) against the
+    same store.  The returned summary is this worker's view — tasks it
+    computed count as computed, everything satisfied from the store
+    (pre-existing artifacts *and* rivals' results) counts as cached — so
+    summing ``computed`` across a fleet equals the number of distinct tasks.
+    """
+    if lease_ttl <= 0:
+        raise InvalidParameterError(f"lease_ttl must be > 0, got {lease_ttl}")
+    worker = worker_id or default_worker_id()
+    wait = poll_interval if poll_interval is not None else min(0.2, lease_ttl / 10.0)
+    start = time.perf_counter()
+    summary = CampaignRunSummary(workers=1)
+
+    remaining: dict[str, CampaignTask] = {}
+    for task in tasks:
+        key = task.key()
+        if key in remaining:
+            # Duplicate config inside one grid: one compute, reported once
+            # per occurrence (mirrors the pool runner's dedupe).
+            summary.outcomes.append(TaskOutcome(task=task, key=key, cached=True))
+        else:
+            remaining[key] = task
+
+    def note(line: str) -> None:
+        if progress is not None:
+            progress(f"[{worker}] {line}")
+
+    while remaining:
+        progressed = False
+        for key in list(remaining):
+            task = remaining[key]
+            if store.has(key):
+                # Computed before this run or by a rival worker just now;
+                # either way the lease (if any survives) is moot.
+                store.backend.delete(lease_key_for(key))
+                summary.outcomes.append(TaskOutcome(task=task, key=key, cached=True))
+                note(f"cached   {task.label} [{key}]")
+                del remaining[key]
+                progressed = True
+                continue
+            token = try_claim(store, key, worker, lease_ttl, clock=clock)
+            if token is None:
+                continue
+            heartbeat = LeaseHeartbeat(store, key, token, worker, lease_ttl, clock=clock)
+            heartbeat.start()
+            try:
+                started = time.perf_counter()
+                payload = task_runner(task)
+                duration = time.perf_counter() - started
+            finally:
+                heartbeat.stop()
+            published = store.save_if_absent(key, payload)
+            release_lease(store, key, heartbeat.token)
+            if published:
+                summary.outcomes.append(
+                    TaskOutcome(task=task, key=key, cached=False, duration_s=duration)
+                )
+                note(f"computed {task.label} [{key}] ({duration:.2f}s)")
+            else:
+                # A stealer published first; identical bytes, count as cached.
+                summary.outcomes.append(TaskOutcome(task=task, key=key, cached=True))
+                note(f"duplicate {task.label} [{key}] (lost publish race)")
+            del remaining[key]
+            progressed = True
+        if remaining and not progressed:
+            time.sleep(wait)
+
+    summary.wall_time_s = time.perf_counter() - start
+    return summary
+
+
+def gc_store(
+    store: ArtifactStore,
+    *,
+    clock: Callable[[], float] = time.time,
+) -> dict:
+    """Collect protocol residue a crashed worker can leave behind.
+
+    Removes lease markers that are moot (their artifact exists), expired or
+    corrupt, plus the filesystem backend's orphaned temp/lock files.  Safe
+    to run any time; only leases of *live* in-flight tasks survive.  After
+    a campaign finishes this restores the store to artifacts-only, so
+    cross-store comparisons (``diff -r``, ``repro campaign diff``) see
+    exactly the sequential store's contents.
+    """
+    now = clock()
+    removed_leases = 0
+    for lkey in store.backend.list_keys(LEASE_PREFIX):
+        key = lkey[len(LEASE_PREFIX):]
+        blob = store.backend.get(lkey)
+        if blob is None:
+            continue
+        lease = decode_lease(blob)
+        if store.has(key) or lease is None or lease["expires_at"] <= now:
+            if store.backend.delete(lkey):
+                removed_leases += 1
+    removed_transients = store.backend.sweep_transients()
+    return {"leases": removed_leases, "transients": removed_transients}
+
+
+def run_campaign(
+    tasks: Sequence[CampaignTask],
+    store: ArtifactStore,
+    *,
+    workers: int = 1,
+    distributed: bool = False,
+    worker_id: "str | None" = None,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+    progress=None,
+) -> CampaignRunSummary:
+    """Execute a campaign either as a worker pool or as one fleet worker.
+
+    ``distributed=False`` (default) is the classic single-coordinator path:
+    a :class:`CampaignRunner` fanning pending tasks over ``workers``
+    processes, the parent alone writing artifacts.  ``distributed=True``
+    runs one cooperative work-stealing worker instead — start N processes
+    (each calling this with the same tasks and a store on a shared backend)
+    to execute the grid N-wide with crash tolerance and no coordinator.
+    """
+    if distributed:
+        if workers != 1:
+            raise InvalidParameterError(
+                "distributed mode runs one worker per process; "
+                "start more processes instead of passing workers > 1"
+            )
+        return run_worker(
+            store, tasks, worker_id=worker_id, lease_ttl=lease_ttl, progress=progress
+        )
+    return CampaignRunner(store, workers=workers).run(tasks, progress=progress)

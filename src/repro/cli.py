@@ -13,6 +13,8 @@ Seven subcommands cover the common workflows::
     python -m repro adaptive --scenario drift-ramp-heavytail --policy threshold
     python -m repro bounds --epsilon 0.25 --alpha 3
     python -m repro campaign run --grid small --workers 4
+    python -m repro campaign run --grid medium --store sqlite:grid.db --worker
+    python -m repro campaign diff /tmp/store-a sqlite:/tmp/store-b.db
 
 * ``experiments`` regenerates experiment tables (same engine as the benchmark
   harness and ``examples/reproduce_experiments.py``).
@@ -50,6 +52,12 @@ Seven subcommands cover the common workflows::
 * ``bounds`` prints the paper's closed-form guarantees for given parameters.
 * ``campaign`` runs (experiment × variant × seed) grids in parallel against a
   cached artifact store and aggregates the results (``run``/``list``/``report``).
+  ``--store`` addresses any backend (a directory, ``file:PATH`` or
+  ``sqlite:PATH``); ``run --worker`` joins a work-stealing fleet — start any
+  number of worker processes against one shared store and they execute the
+  grid cooperatively, stealing expired leases from crashed peers.
+  ``diff`` byte-compares two stores across backends; ``gc`` collects lease
+  and temp-file residue a killed worker can leave behind.
 """
 
 from __future__ import annotations
@@ -365,10 +373,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
 
+    def _store_args(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--store", default="campaign-artifacts",
+                         help="artifact store: a directory, file:PATH or sqlite:PATH")
+        sub.add_argument("--backend", choices=("file", "sqlite"), default=None,
+                         help="force the backend for a plain --store path "
+                              "(equivalent to prefixing the path with SCHEME:)")
+
     def _common_campaign_args(sub: argparse.ArgumentParser) -> None:
         sub.add_argument("--grid", default="small", help="grid name (see `campaign list`)")
-        sub.add_argument("--store", default="campaign-artifacts",
-                         help="artifact store directory")
+        _store_args(sub)
         sub.add_argument("--master-seed", type=int, default=None,
                          help="master seed the per-task seeds are derived from")
         sub.add_argument("--csv", metavar="DIR", default=None,
@@ -380,6 +394,18 @@ def build_parser() -> argparse.ArgumentParser:
     _common_campaign_args(campaign_run)
     campaign_run.add_argument("--workers", type=int, default=1,
                               help="worker processes (1 = in-process sequential)")
+    campaign_run.add_argument("--worker", action="store_true",
+                              help="run as one cooperative work-stealing worker: "
+                                   "any number of --worker processes sharing a "
+                                   "store backend execute the grid together, "
+                                   "stealing tasks from crashed peers")
+    campaign_run.add_argument("--worker-id", default=None, metavar="ID",
+                              help="worker identity recorded in lease markers "
+                                   "(default: <hostname>-<pid>)")
+    campaign_run.add_argument("--lease-ttl", type=float, default=None, metavar="S",
+                              help="with --worker: seconds before an "
+                                   "unrefreshed task lease may be stolen "
+                                   "(default 30)")
     campaign_run.add_argument("--quiet", action="store_true",
                               help="suppress per-task progress lines")
 
@@ -391,6 +417,17 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="aggregate already-stored artifacts without running anything"
     )
     _common_campaign_args(campaign_report)
+
+    campaign_diff = campaign_sub.add_parser(
+        "diff", help="byte-compare two artifact stores (any mix of backends)"
+    )
+    campaign_diff.add_argument("store_a", help="first store spec (path, file: or sqlite:)")
+    campaign_diff.add_argument("store_b", help="second store spec")
+
+    campaign_gc = campaign_sub.add_parser(
+        "gc", help="remove expired task leases and stale temp files from a store"
+    )
+    _store_args(campaign_gc)
 
     # ``repro bench`` is dispatched before parsing (see :func:`main`) so the
     # harness keeps its own argparse surface; this stub makes it show up in
@@ -849,16 +886,37 @@ def _campaign_tasks(args: argparse.Namespace):
     return get_grid(args.grid).tasks(master_seed=master_seed)
 
 
+def _open_campaign_store(args: argparse.Namespace):
+    """Open ``--store`` honouring an explicit ``--backend`` override."""
+    from repro.campaigns import ArtifactStore
+
+    spec = args.store
+    backend = getattr(args, "backend", None)
+    if backend is not None:
+        scheme, sep, _ = spec.partition(":")
+        if sep and scheme in ("file", "sqlite", "memory"):
+            if scheme != backend:
+                raise ReproError(
+                    f"--backend {backend} contradicts store spec {spec!r}"
+                )
+        else:
+            spec = f"{backend}:{spec}"
+    return ArtifactStore.open(spec)
+
+
 def _cmd_campaign(args: argparse.Namespace, out) -> int:
     from repro.analysis.reporting import render_report
     from repro.campaigns import (
         ArtifactStore,
-        CampaignRunner,
         aggregate_tables,
         available_grids,
+        diff_stores,
         export_csv,
+        gc_store,
+        run_campaign,
         summary_table,
     )
+    from repro.campaigns.distributed import DEFAULT_LEASE_TTL
 
     if args.campaign_command == "list":
         if args.grid is None:
@@ -869,13 +927,49 @@ def _cmd_campaign(args: argparse.Namespace, out) -> int:
             print(f"{task.label} [{task.key()}]", file=out)
         return 0
 
-    store = ArtifactStore(args.store)
+    if args.campaign_command == "diff":
+        store_a = ArtifactStore.open(args.store_a)
+        store_b = ArtifactStore.open(args.store_b)
+        lines = diff_stores(store_a, store_b)
+        for line in lines:
+            print(line, file=out)
+        if lines:
+            print(f"stores differ: {len(lines)} difference(s)", file=out)
+            return 1
+        print(f"stores identical: {len(store_a)} artifact(s)", file=out)
+        return 0
+
+    if args.campaign_command == "gc":
+        store = _open_campaign_store(args)
+        removed = gc_store(store)
+        print(
+            f"gc {store.describe()}: removed {removed['leases']} lease(s), "
+            f"{removed['transients']} transient file(s)",
+            file=out,
+        )
+        return 0
+
+    store = _open_campaign_store(args)
     tasks = _campaign_tasks(args)
 
     if args.campaign_command == "run":
-        runner = CampaignRunner(store, workers=args.workers)
+        if args.worker and args.workers != 1:
+            raise ReproError(
+                "--worker runs one cooperative worker per process; "
+                "start more --worker processes instead of --workers N"
+            )
+        if not args.worker and (args.lease_ttl is not None or args.worker_id):
+            raise ReproError("--lease-ttl/--worker-id only apply with --worker")
         progress = None if args.quiet else (lambda line: print(line, file=out))
-        summary = runner.run(tasks, progress=progress)
+        summary = run_campaign(
+            tasks,
+            store,
+            workers=args.workers,
+            distributed=args.worker,
+            worker_id=args.worker_id,
+            lease_ttl=args.lease_ttl if args.lease_ttl is not None else DEFAULT_LEASE_TTL,
+            progress=progress,
+        )
         print(summary.describe(), file=out)
         print("", file=out)
         print(summary_table(summary.outcomes).render(), file=out)

@@ -99,9 +99,18 @@ class TestTasksAndKeys:
         assert rebuilt.render() == direct.render()
 
 
+def _store_for(kind: str, tmp_path) -> ArtifactStore:
+    """Open a store on either real backend (see tests/test_store_backends.py
+    for the full backend contract suite)."""
+    if kind == "sqlite":
+        return ArtifactStore.open(f"sqlite:{tmp_path / 'store.db'}")
+    return ArtifactStore(tmp_path / "store")
+
+
 class TestArtifactStore:
-    def test_round_trip_and_len(self, tmp_path):
-        store = ArtifactStore(tmp_path / "store")
+    @pytest.mark.parametrize("kind", ["file", "sqlite"])
+    def test_round_trip_and_len(self, kind, tmp_path):
+        store = _store_for(kind, tmp_path)
         store.save("ab12cd34", {"x": 1})
         assert store.has("ab12cd34")
         assert store.load("ab12cd34") == {"x": 1}
@@ -124,6 +133,14 @@ class TestArtifactStore:
             first.path_for("ab12cd34").read_bytes()
             == second.path_for("ab12cd34").read_bytes()
         )
+
+    @pytest.mark.parametrize("kind", ["file", "sqlite"])
+    def test_resumed_campaign_hits_cache_on_any_backend(self, kind, tmp_path):
+        store = _store_for(kind, tmp_path)
+        task = _tiny_task()
+        first = CampaignRunner(store, workers=1).run([task])
+        second = CampaignRunner(store, workers=1).run([task])
+        assert first.computed == 1 and second.cached == 1
 
 
 class TestRunnerDeterminism:

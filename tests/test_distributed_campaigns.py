@@ -1,0 +1,333 @@
+"""Tests for the lease protocol and the work-stealing campaign dispatcher.
+
+The protocol pieces (claim/renew/steal/release) are unit-tested with an
+injected clock so expiry is deterministic; the dispatcher is integration-
+tested with real thread fleets over a shared in-memory backend, including
+the crash paths: expired-lease stealing, lost publish races and a worker
+killed at the atomic-write boundary.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.campaigns import (
+    ArtifactStore,
+    CampaignRunner,
+    CampaignTask,
+    diff_stores,
+    gc_store,
+    get_grid,
+    run_campaign,
+    run_worker,
+)
+from repro.campaigns.backends import MemoryBackend
+from repro.campaigns.distributed import (
+    LeaseHeartbeat,
+    decode_lease,
+    default_worker_id,
+    encode_lease,
+    lease_key_for,
+    release_lease,
+    renew_lease,
+    try_claim,
+)
+from repro.campaigns.store import LEASE_PREFIX
+from repro.cli import main
+from repro.exceptions import InvalidParameterError
+
+TINY_E1 = {"epsilons": (0.5,), "workloads": ("poisson-pareto",)}
+
+
+def _tiny_task(seed=7, variant="tiny"):
+    return CampaignTask.create("E1", variant=variant, seed=seed, overrides=TINY_E1)
+
+
+def _memory_store() -> ArtifactStore:
+    return ArtifactStore(backend=MemoryBackend())
+
+
+KEY = "ab12cd34ab12cd34"
+
+
+class TestLeaseProtocol:
+    def test_fresh_claim_then_rival_blocked_until_expiry(self):
+        store = _memory_store()
+        token = try_claim(store, KEY, "w1", ttl=30, clock=lambda: 1000.0)
+        assert decode_lease(token) == {"worker": "w1", "expires_at": 1030.0, "seq": 0}
+        assert try_claim(store, KEY, "w2", ttl=30, clock=lambda: 1000.0) is None
+        stolen = try_claim(store, KEY, "w2", ttl=30, clock=lambda: 1031.0)
+        assert decode_lease(stolen)["worker"] == "w2"
+        assert decode_lease(stolen)["seq"] == 1  # steals are counted
+
+    def test_only_one_concurrent_stealer_wins(self):
+        store = _memory_store()
+        store.backend.put(lease_key_for(KEY), encode_lease("dead", 0.0, 0))
+        barrier = threading.Barrier(4)
+        winners = []
+
+        def stealer(i):
+            barrier.wait()
+            token = try_claim(store, KEY, f"w{i}", ttl=30, clock=lambda: 100.0)
+            if token is not None:
+                winners.append(i)
+
+        threads = [threading.Thread(target=stealer, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(winners) == 1
+
+    def test_corrupt_lease_blob_is_stealable(self):
+        store = _memory_store()
+        store.backend.put(lease_key_for(KEY), b"\xffnot json")
+        assert decode_lease(b"\xffnot json") is None
+        token = try_claim(store, KEY, "w1", ttl=30, clock=lambda: 1000.0)
+        assert decode_lease(token)["worker"] == "w1"
+
+    def test_renew_extends_only_with_the_live_token(self):
+        store = _memory_store()
+        token = try_claim(store, KEY, "w1", ttl=30, clock=lambda: 1000.0)
+        renewed = renew_lease(store, KEY, token, "w1", ttl=30, clock=lambda: 1010.0)
+        assert decode_lease(renewed)["expires_at"] == 1040.0
+        # The superseded token is dead: renewing with it must fail (this is
+        # exactly how an owner discovers its lease was stolen).
+        assert renew_lease(store, KEY, token, "w1", ttl=30, clock=lambda: 1011.0) is None
+
+    def test_release_only_removes_own_lease(self):
+        store = _memory_store()
+        token = try_claim(store, KEY, "w1", ttl=30, clock=lambda: 1000.0)
+        release_lease(store, KEY, b"someone elses token")
+        assert store.backend.exists(lease_key_for(KEY))
+        release_lease(store, KEY, token)
+        assert not store.backend.exists(lease_key_for(KEY))
+
+    def test_heartbeat_keeps_slow_task_leased(self):
+        store = _memory_store()
+        token = try_claim(store, KEY, "w1", ttl=0.2, clock=time.time)
+        heartbeat = LeaseHeartbeat(store, KEY, token, "w1", ttl=0.2)
+        heartbeat.start()
+        try:
+            time.sleep(0.5)  # well past the original expiry
+            assert try_claim(store, KEY, "w2", ttl=0.2) is None
+            assert not heartbeat.lost
+        finally:
+            heartbeat.stop()
+
+    def test_heartbeat_flags_stolen_lease(self):
+        store = _memory_store()
+        token = try_claim(store, KEY, "w1", ttl=0.2, clock=time.time)
+        heartbeat = LeaseHeartbeat(store, KEY, token, "w1", ttl=0.2)
+        store.backend.put(lease_key_for(KEY), encode_lease("thief", 9e12, 1))
+        heartbeat.start()
+        time.sleep(0.2)
+        heartbeat.stop()
+        assert heartbeat.lost
+
+    def test_default_worker_id_carries_host_and_pid(self):
+        assert len(default_worker_id().rsplit("-", 1)) == 2
+
+
+class TestRunWorker:
+    def test_single_worker_matches_pool_runner_bytes(self, tmp_path):
+        tasks = get_grid("smoke").tasks()
+        pool_store = ArtifactStore(tmp_path / "pool")
+        fleet_store = _memory_store()
+        CampaignRunner(pool_store, workers=1).run(tasks)
+        summary = run_worker(fleet_store, tasks, worker_id="solo")
+        assert summary.computed == len(tasks) and summary.cached == 0
+        assert diff_stores(pool_store, fleet_store) == []
+
+    def test_thread_fleet_computes_each_task_exactly_once(self):
+        store = _memory_store()
+        tasks = [_tiny_task(seed=s) for s in range(6)]
+        summaries = [None] * 3
+
+        def worker(i):
+            summaries[i] = run_worker(
+                store, tasks, worker_id=f"w{i}", lease_ttl=5, poll_interval=0.01
+            )
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sum(s.computed for s in summaries) == len(tasks)
+        # Every worker accounts for the full grid (computed + cached), and
+        # nothing but artifacts survives: all leases were released.
+        assert all(s.total == len(tasks) for s in summaries)
+        assert len(store) == len(tasks)
+        assert store.backend.list_keys(LEASE_PREFIX) == []
+
+    def test_expired_lease_from_crashed_worker_is_stolen(self):
+        store = _memory_store()
+        task = _tiny_task()
+        # A "crashed" rival: claimed long ago, never heartbeat, never freed.
+        store.backend.put(
+            lease_key_for(task.key()), encode_lease("crashed-worker", 1.0, 0)
+        )
+        summary = run_worker(store, [task], worker_id="survivor", lease_ttl=5)
+        assert summary.computed == 1
+        assert store.has(task.key())
+        assert store.backend.list_keys(LEASE_PREFIX) == []
+
+    def test_worker_clears_moot_lease_of_finished_task(self):
+        store = _memory_store()
+        task = _tiny_task()
+        CampaignRunner(store, workers=1).run([task])
+        store.backend.put(lease_key_for(task.key()), encode_lease("dead", 9e12, 0))
+        summary = run_worker(store, [task], worker_id="w1")
+        assert summary.cached == 1 and summary.computed == 0
+        assert store.backend.list_keys(LEASE_PREFIX) == []
+
+    def test_lost_publish_race_counts_as_cached(self):
+        store = _memory_store()
+        task = _tiny_task()
+        real_runner = __import__(
+            "repro.campaigns.tasks", fromlist=["run_task"]
+        ).run_task
+
+        def racing_runner(t):
+            payload = real_runner(t)
+            # A rival stole the lease and published while we computed.
+            store.save_if_absent(t.key(), payload)
+            return payload
+
+        lines = []
+        summary = run_worker(
+            store, [task], worker_id="loser", task_runner=racing_runner,
+            progress=lines.append,
+        )
+        assert summary.computed == 0 and summary.cached == 1
+        assert any("lost publish race" in line for line in lines)
+        assert store.has(task.key())
+
+    def test_duplicate_tasks_deduped_like_pool_runner(self):
+        store = _memory_store()
+        task = _tiny_task()
+        summary = run_worker(store, [task, task], worker_id="w1")
+        assert summary.total == 2 and summary.computed == 1 and summary.cached == 1
+
+    def test_invalid_lease_ttl_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            run_worker(_memory_store(), [_tiny_task()], lease_ttl=0)
+
+    def test_killed_mid_publish_leaves_no_torn_artifact(self, tmp_path, monkeypatch):
+        # Kill-point: die exactly at the publish rename.  The store must not
+        # contain a half-written artifact, and a clean rerun must produce a
+        # store byte-identical to one that never crashed.
+        store = ArtifactStore(tmp_path / "crashed")
+        task = _tiny_task()
+
+        def exploding_link(src, dst):
+            raise KeyboardInterrupt("kill -9 at the worst byte offset")
+
+        # run_worker publishes with save_if_absent -> os.link (atomic create).
+        monkeypatch.setattr("repro.campaigns.backends.os.link", exploding_link)
+        with pytest.raises(KeyboardInterrupt):
+            run_worker(store, [task], worker_id="victim", lease_ttl=5)
+        monkeypatch.undo()
+        assert list(store.keys()) == []
+        gc_store(store)
+        summary = run_worker(store, [task], worker_id="recovery", lease_ttl=5)
+        assert summary.computed == 1
+        pristine = ArtifactStore(tmp_path / "pristine")
+        run_worker(pristine, [task], worker_id="ref")
+        assert diff_stores(store, pristine) == []
+
+
+class TestGcStore:
+    def test_collects_moot_expired_and_corrupt_leases_only(self):
+        store = _memory_store()
+        done = _tiny_task(seed=1)
+        CampaignRunner(store, workers=1).run([done])
+        store.backend.put(lease_key_for(done.key()), encode_lease("w", 9e12, 0))
+        store.backend.put(lease_key_for("aa" * 8), encode_lease("w", 50.0, 0))
+        store.backend.put(lease_key_for("bb" * 8), b"corrupt")
+        store.backend.put(lease_key_for("cc" * 8), encode_lease("live", 9e12, 0))
+        removed = gc_store(store, clock=lambda: 100.0)
+        assert removed == {"leases": 3, "transients": 0}
+        assert store.backend.list_keys(LEASE_PREFIX) == [lease_key_for("cc" * 8)]
+
+    def test_sweeps_filesystem_transients(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        store.save("ab12cd34", {"x": 1})
+        (tmp_path / "store" / "ab" / "orphan.tmp").write_bytes(b"torn")
+        removed = gc_store(store)
+        assert removed["transients"] == 1
+        assert list(store.keys()) == ["ab12cd34"]
+
+
+class TestRunCampaignDispatch:
+    def test_default_mode_uses_pool_runner(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        summary = run_campaign([_tiny_task()], store, workers=1)
+        assert summary.computed == 1
+
+    def test_distributed_mode_runs_one_worker(self):
+        store = _memory_store()
+        summary = run_campaign(
+            [_tiny_task()], store, distributed=True, worker_id="w1", lease_ttl=5
+        )
+        assert summary.computed == 1
+
+    def test_distributed_mode_rejects_worker_pool(self):
+        with pytest.raises(InvalidParameterError):
+            run_campaign([_tiny_task()], _memory_store(), distributed=True, workers=2)
+
+
+class TestCampaignCliDistributed:
+    def test_worker_flag_runs_fleet_of_one(self, tmp_path, capsys):
+        code = main(["campaign", "run", "--grid", "smoke", "--worker",
+                     "--worker-id", "cli-w1", "--store", str(tmp_path / "store")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 computed, 0 cached" in out
+        assert "[cli-w1]" in out
+
+    def test_sqlite_backend_flag_equivalent_to_scheme(self, tmp_path, capsys):
+        code = main(["campaign", "run", "--grid", "smoke", "--quiet",
+                     "--backend", "sqlite", "--store", str(tmp_path / "kv.db")])
+        assert code == 0
+        code = main(["campaign", "run", "--grid", "smoke", "--quiet",
+                     "--store", f"sqlite:{tmp_path / 'kv.db'}"])
+        assert code == 0
+        assert "100% cache hits" in capsys.readouterr().out
+
+    def test_backend_flag_conflicting_with_scheme_errors(self, tmp_path, capsys):
+        code = main(["campaign", "run", "--grid", "smoke",
+                     "--backend", "sqlite", "--store", f"file:{tmp_path}"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_worker_conflicts_with_worker_pool(self, tmp_path, capsys):
+        code = main(["campaign", "run", "--grid", "smoke", "--worker",
+                     "--workers", "2", "--store", str(tmp_path)])
+        assert code == 2
+
+    def test_lease_flags_require_worker_mode(self, tmp_path, capsys):
+        code = main(["campaign", "run", "--grid", "smoke",
+                     "--lease-ttl", "5", "--store", str(tmp_path)])
+        assert code == 2
+
+    def test_diff_identical_and_differing_stores(self, tmp_path, capsys):
+        for name in ("a", "b"):
+            assert main(["campaign", "run", "--grid", "smoke", "--quiet",
+                         "--store", str(tmp_path / name)]) == 0
+        assert main(["campaign", "diff", str(tmp_path / "a"), str(tmp_path / "b")]) == 0
+        assert "stores identical" in capsys.readouterr().out
+        ArtifactStore(tmp_path / "b").save("ab12cd34", {"extra": True})
+        assert main(["campaign", "diff", str(tmp_path / "a"), str(tmp_path / "b")]) == 1
+        assert "stores differ" in capsys.readouterr().out
+
+    def test_gc_reports_removals(self, tmp_path, capsys):
+        store = ArtifactStore(tmp_path / "store")
+        store.backend.put(lease_key_for("ab" * 8), b"corrupt")
+        code = main(["campaign", "gc", "--store", str(tmp_path / "store")])
+        assert code == 0
+        assert "removed 1 lease(s)" in capsys.readouterr().out
